@@ -1,0 +1,59 @@
+"""E1 -- Figure 1: the line-network worked example.
+
+Claim reproduced: with heights 0.5/0.7/0.4, the sets {A,C} and {B,C}
+are feasible on one resource but {A,B} is not; the optimum therefore
+schedules two demands, and the Theorem 7.2 algorithm stays within its
+guarantee of it.
+"""
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import table
+
+from repro import solve_arbitrary_lines, solve_exact
+from repro.core.solution import Solution
+from repro.workloads import figure1_problem
+
+
+def run_experiment():
+    problem = figure1_problem()
+    insts = {d.demand_id: d for d in problem.instances}
+    pair_feasible = {
+        "{A,C}": Solution.from_instances([insts[0], insts[2]]).is_feasible(),
+        "{B,C}": Solution.from_instances([insts[1], insts[2]]).is_feasible(),
+        "{A,B}": Solution.from_instances([insts[0], insts[1]]).is_feasible(),
+    }
+    assert pair_feasible["{A,C}"] and pair_feasible["{B,C}"]
+    assert not pair_feasible["{A,B}"]
+
+    opt = solve_exact(problem).profit
+    report = solve_arbitrary_lines(problem, epsilon=0.05, seed=0)
+    report.solution.verify()
+    assert opt == 2.0
+    assert opt <= report.guarantee * report.profit + 1e-9
+
+    rows = [
+        ["{A,C} feasible (paper: yes)", pair_feasible["{A,C}"]],
+        ["{B,C} feasible (paper: yes)", pair_feasible["{B,C}"]],
+        ["{A,B} feasible (paper: no)", pair_feasible["{A,B}"]],
+        ["exact optimum", opt],
+        ["algorithm profit (Thm 7.2)", report.profit],
+        ["dual certificate (>= OPT)", report.certified_upper_bound],
+    ]
+    out = table(["quantity", "value"], rows)
+    return "E1 - Figure 1 line-network example", out, {
+        "opt": opt,
+        "profit": report.profit,
+    }
+
+
+def bench_e01_figure1(benchmark):
+    problem = figure1_problem()
+    report = benchmark(solve_arbitrary_lines, problem, epsilon=0.05, seed=0)
+    assert solve_exact(problem).profit <= report.guarantee * report.profit + 1e-9
+
+
+if __name__ == "__main__":
+    title, out, _ = run_experiment()
+    print(title, "\n", out, sep="")

@@ -1,0 +1,68 @@
+"""E2 -- Figure 2 / Figure 6: the tree-network worked examples.
+
+Claims reproduced: on the Figure 2 tree all three demands route through
+edge <4,5>, so unit heights admit exactly one (opt = 1) while heights
+0.4/0.7/0.3 admit the first and third (opt = 2).  On the Figure 6 tree
+the Section 4 anatomy holds: path(4,13) = 4-2-5-8-13, capture at node 2
+under root 1, the stated wings and bending points.
+"""
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import table
+
+from repro import build_root_fixing, solve_arbitrary_trees, solve_exact, solve_unit_trees
+from repro.trees.layered import bending_point, wings
+from repro.workloads import figure2_problem, figure6_network, figure6_problem
+
+
+def run_experiment():
+    unit = figure2_problem(unit_height=True)
+    heights = figure2_problem()
+    opt_unit = solve_exact(unit).profit
+    opt_heights = solve_exact(heights).profit
+    assert opt_unit == 1.0 and opt_heights == 2.0
+
+    rep_unit = solve_unit_trees(unit, epsilon=0.05, mis="greedy")
+    rep_heights = solve_arbitrary_trees(heights, epsilon=0.05, mis="greedy", seed=0)
+    assert opt_unit <= rep_unit.guarantee * rep_unit.profit + 1e-9
+    assert opt_heights <= rep_heights.guarantee * rep_heights.profit + 1e-9
+
+    net = figure6_network()
+    problem6 = figure6_problem()
+    inst = problem6.instances[0]
+    td = build_root_fixing(net, root=1)
+    anatomy_ok = (
+        inst.path_vertex_seq == (4, 2, 5, 8, 13)
+        and td.capture_node(inst) == 2
+        and set(wings(inst, 4)) == {(0, 2, 4)}
+        and set(wings(inst, 8)) == {(0, 5, 8), (0, 8, 13)}
+        and bending_point(net, inst, 3) == 2
+        and bending_point(net, inst, 9) == 5
+    )
+    assert anatomy_ok
+
+    rows = [
+        ["Fig.2 unit-height optimum (paper: 1)", opt_unit],
+        ["Fig.2 unit-height algorithm profit", rep_unit.profit],
+        ["Fig.2 heights optimum (paper: 2)", opt_heights],
+        ["Fig.2 heights algorithm profit", rep_heights.profit],
+        ["Fig.6 path/capture/wings/bending facts", anatomy_ok],
+    ]
+    out = table(["quantity", "value"], rows)
+    return "E2 - Figure 2/6 tree-network examples", out, {
+        "opt_unit": opt_unit,
+        "opt_heights": opt_heights,
+    }
+
+
+def bench_e02_figure2(benchmark):
+    problem = figure2_problem(unit_height=True)
+    report = benchmark(solve_unit_trees, problem, epsilon=0.05, mis="greedy")
+    assert report.profit == 1.0
+
+
+if __name__ == "__main__":
+    title, out, _ = run_experiment()
+    print(title, "\n", out, sep="")

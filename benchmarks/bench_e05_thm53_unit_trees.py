@@ -1,0 +1,98 @@
+"""E5 -- Theorem 5.3: (7+eps)-approximation, unit heights, trees.
+
+Claims reproduced: across sizes and seeds, the measured profit is
+within the provable factor of the true optimum (exact for small m, LP
+bound for larger); the run's own dual certificate never exceeds
+``7/(1-eps) * p(S)``; and the simulated communication rounds track the
+``O(Time(MIS) log n log(1/eps) log(pmax/pmin))`` bound.
+"""
+import statistics
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import table
+
+from repro import lp_upper_bound, solve_exact, solve_unit_trees
+from repro.analysis.metrics import theoretical_round_bound
+from repro.workloads import random_tree_problem
+from repro.workloads.trees import random_forest
+
+EPSILON = 0.1
+CASES = [  # (n, m, with_exact)
+    (16, 12, True),
+    (32, 14, True),
+    (64, 40, False),
+    (128, 80, False),
+]
+
+
+def run_experiment():
+    rows = []
+    cert_ratios = []
+    round_usages = []
+    for n, m, with_exact in CASES:
+        for seed in range(3):
+            problem = random_tree_problem(
+                random_forest(n, 2, seed=seed), m=m, seed=seed + 100
+            )
+            report = solve_unit_trees(problem, epsilon=EPSILON, seed=seed)
+            report.solution.verify()
+            lp = lp_upper_bound(problem)
+            opt = solve_exact(problem).profit if with_exact else None
+            yard = opt if opt is not None else lp
+            measured = yard / report.profit
+            cert = report.certified_ratio
+            limit = 7.0 / (1 - EPSILON)
+            assert cert <= limit + 1e-6, "certified ratio exceeds 7/(1-eps)"
+            assert measured <= cert + 1e-6
+            rounds = report.communication_rounds
+            bound = theoretical_round_bound(
+                n, EPSILON, problem.pmax / problem.pmin, time_mis=14
+            )
+            cert_ratios.append(cert)
+            round_usages.append(rounds / bound)
+            rows.append(
+                [
+                    n,
+                    m,
+                    seed,
+                    report.profit,
+                    f"{yard:.4g}{'' if opt is not None else ' (LP)'}",
+                    measured,
+                    cert,
+                    rounds,
+                    int(bound),
+                ]
+            )
+    assert max(round_usages) <= 8.0, "rounds blow past the Theorem 5.3 bound"
+    out = table(
+        [
+            "n",
+            "m",
+            "seed",
+            "profit",
+            "OPT yardstick",
+            "measured ratio",
+            "certified ratio (<=7.78)",
+            "sim rounds",
+            "round bound",
+        ],
+        rows,
+    )
+    findings = {
+        "mean_certified_ratio": statistics.mean(cert_ratios),
+        "max_round_usage": max(round_usages),
+    }
+    return "E5 - Theorem 5.3 unit-height trees (7+eps)", out, findings
+
+
+def bench_e05_solve_unit_trees(benchmark):
+    problem = random_tree_problem(random_forest(64, 2, seed=0), m=40, seed=100)
+    report = benchmark(solve_unit_trees, problem, epsilon=EPSILON, seed=0)
+    assert report.certified_ratio <= 7.0 / (1 - EPSILON) + 1e-6
+
+
+if __name__ == "__main__":
+    title, out, _ = run_experiment()
+    print(title, "\n", out, sep="")

@@ -1,0 +1,78 @@
+"""E6 -- Lemma 5.1 / Claim 5.2: steps per stage are O(log(pmax/pmin)).
+
+Claim reproduced: with the paper's ``xi`` (kill factor 2), no stage of
+the first phase ever takes more than ``1 + ceil(log2(pmax/pmin)) + 1``
+steps, across a wide profit-ratio sweep -- and the growth in observed
+steps is logarithmic, not linear, in pmax/pmin.
+"""
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import table
+
+from repro.algorithms.base import tree_layouts
+from repro.core.dual import UnitRaise
+from repro.core.framework import geometric_thresholds, run_two_phase, unit_xi
+from repro.workloads import random_tree_problem
+from repro.workloads.trees import random_forest
+
+RATIOS = (1.0, 4.0, 16.0, 64.0, 256.0)
+EPSILON = 0.15
+
+
+def _run(pmax_over_pmin, seed):
+    problem = random_tree_problem(
+        random_forest(32, 2, seed=seed),
+        m=26,
+        seed=seed + 7,
+        profit_profile="two-point" if pmax_over_pmin > 1 else "uniform",
+        pmax_over_pmin=pmax_over_pmin,
+    )
+    layout, _ = tree_layouts(problem, "ideal")
+    thresholds = geometric_thresholds(unit_xi(6), EPSILON)
+    result = run_two_phase(
+        problem.instances, layout, UnitRaise(), thresholds, mis="greedy", seed=seed
+    )
+    return problem, result
+
+
+def run_experiment():
+    rows = []
+    max_steps_by_ratio = {}
+    for ratio in RATIOS:
+        observed = 0
+        for seed in range(3):
+            problem, result = _run(ratio, seed)
+            true_ratio = problem.pmax / problem.pmin
+            bound = 1 + math.ceil(math.log2(max(1.0, true_ratio))) + 1
+            steps = result.counters.max_steps_per_stage
+            assert steps <= bound, (
+                f"stage took {steps} steps, Lemma 5.1 bound is {bound}"
+            )
+            observed = max(observed, steps)
+        max_steps_by_ratio[ratio] = observed
+        rows.append([ratio, observed, 1 + math.ceil(math.log2(max(1.0, ratio))) + 1])
+    # Logarithmic growth: a 256x profit spread must not cost anywhere
+    # near 256x the steps of the flat case.
+    assert max_steps_by_ratio[256.0] <= max_steps_by_ratio[1.0] + math.ceil(
+        math.log2(256)
+    ) + 1
+    out = table(
+        ["pmax/pmin", "max steps per stage (observed)", "Lemma 5.1 bound"], rows
+    )
+    return "E6 - Lemma 5.1 step bound per stage", out, max_steps_by_ratio
+
+
+def bench_e06_first_phase(benchmark):
+    def run():
+        return _run(64.0, 0)[1]
+
+    result = benchmark(run)
+    assert result.counters.max_steps_per_stage <= 1 + math.ceil(math.log2(64)) + 1
+
+
+if __name__ == "__main__":
+    title, out, _ = run_experiment()
+    print(title, "\n", out, sep="")

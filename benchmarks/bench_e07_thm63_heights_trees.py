@@ -1,0 +1,85 @@
+"""E7 -- Lemma 6.2 / Theorem 6.3: arbitrary heights on trees.
+
+Claims reproduced: the narrow algorithm's certified ratio stays within
+``(2*6^2+1)/(1-eps) = 73/(1-eps)`` and the combined wide/narrow
+algorithm within ``80/(1-eps)``; measured ratios against the exact
+optimum are far smaller.  The stage count per epoch grows like
+``O((1/hmin) log(1/eps))`` as hmin shrinks -- the price of heights paid
+in rounds, not in solution quality.
+"""
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import table
+
+from repro import solve_arbitrary_trees, solve_exact
+from repro.algorithms.narrow_trees import solve_narrow_trees
+from repro.workloads import random_tree_problem
+from repro.workloads.trees import random_forest
+
+EPSILON = 0.1
+HMINS = (0.5, 0.25, 0.1)
+
+
+def run_experiment():
+    rows = []
+    stages_by_hmin = {}
+    for hmin in HMINS:
+        for seed in range(3):
+            problem = random_tree_problem(
+                random_forest(20, 2, seed=seed + 3),
+                m=12,
+                seed=seed + 60,
+                height_profile="narrow",
+                hmin=hmin,
+            )
+            narrow = solve_narrow_trees(problem, epsilon=EPSILON, seed=seed, hmin=hmin)
+            narrow.solution.verify()
+            opt = solve_exact(problem).profit
+            measured = opt / narrow.profit if narrow.profit else float("inf")
+            assert opt <= narrow.guarantee * narrow.profit + 1e-6
+            assert narrow.guarantee <= 73.0 / (1 - EPSILON) + 1e-6
+            stages = len(narrow.result.thresholds)
+            stages_by_hmin[hmin] = stages
+            rows.append(
+                [hmin, seed, "narrow (Lem 6.2)", narrow.profit, opt, measured, stages]
+            )
+    # Stage count grows as hmin shrinks (the O(1/hmin) factor).
+    assert stages_by_hmin[0.1] > stages_by_hmin[0.5]
+
+    for seed in range(3):
+        problem = random_tree_problem(
+            random_forest(20, 2, seed=seed + 9),
+            m=12,
+            seed=seed + 90,
+            height_profile="bimodal",
+            hmin=0.2,
+        )
+        combined = solve_arbitrary_trees(problem, epsilon=EPSILON, seed=seed)
+        combined.solution.verify()
+        opt = solve_exact(problem).profit
+        measured = opt / combined.profit if combined.profit else float("inf")
+        assert opt <= combined.guarantee * combined.profit + 1e-6
+        assert combined.guarantee <= 80.0 / (1 - EPSILON) + 1e-6
+        rows.append([0.2, seed, "combined (Thm 6.3)", combined.profit, opt, measured, "-"])
+
+    out = table(
+        ["hmin", "seed", "algorithm", "profit", "exact OPT", "measured ratio", "stages/epoch"],
+        rows,
+    )
+    return "E7 - Arbitrary heights on trees (Theorem 6.3)", out, stages_by_hmin
+
+
+def bench_e07_arbitrary_trees(benchmark):
+    problem = random_tree_problem(
+        random_forest(20, 2, seed=9), m=12, seed=91,
+        height_profile="bimodal", hmin=0.2,
+    )
+    report = benchmark(solve_arbitrary_trees, problem, epsilon=EPSILON, seed=0)
+    assert report.guarantee <= 80.0 / (1 - EPSILON) + 1e-6
+
+
+if __name__ == "__main__":
+    title, out, _ = run_experiment()
+    print(title, "\n", out, sep="")

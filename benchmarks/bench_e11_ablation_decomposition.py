@@ -1,0 +1,75 @@
+"""E11 -- Ablation: which tree decomposition feeds the framework?
+
+The Section 4 design choice quantified: layered decompositions built
+from root-fixing (theta=1 -> Delta<=4 but epochs up to n), balancing
+(log epochs but Delta up to 2(log n + 1)), and ideal (Delta<=6 AND log
+epochs).  Only the ideal decomposition keeps both the approximation
+factor constant and the round count polylogarithmic -- the paper's
+Lemma 4.1 punchline, shown here on the same workload.
+"""
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import table
+
+from repro import solve_exact, solve_unit_trees
+from repro.workloads import random_tree_problem
+from repro.workloads.trees import random_forest
+
+DECOMPOSITIONS = ("root_fixing", "balancing", "ideal")
+N = 256
+
+
+def run_experiment():
+    problem = random_tree_problem(
+        random_forest(N, 2, seed=5, shape="caterpillar"), m=60, seed=55
+    )
+    lp_yard = None
+    rows = []
+    stats = {}
+    for name in DECOMPOSITIONS:
+        report = solve_unit_trees(problem, epsilon=0.15, seed=7, decomposition=name)
+        report.solution.verify()
+        result = report.result
+        delta = result.layout.critical_set_size
+        epochs = result.layout.n_epochs
+        rows.append(
+            [
+                name,
+                delta,
+                epochs,
+                report.profit,
+                report.certified_ratio,
+                result.counters.communication_rounds,
+            ]
+        )
+        stats[name] = {"delta": delta, "epochs": epochs}
+    log_n = math.ceil(math.log2(N))
+    assert stats["ideal"]["delta"] <= 6
+    assert stats["ideal"]["epochs"] <= 2 * log_n + 1
+    assert stats["root_fixing"]["delta"] <= 4  # 2*(theta+1) with theta=1
+    # Root-fixing pays in epochs on deep trees; balancing pays in Delta.
+    assert stats["root_fixing"]["epochs"] > stats["ideal"]["epochs"]
+    assert stats["balancing"]["epochs"] <= log_n + 1
+    out = table(
+        ["decomposition", "Delta", "epochs", "profit", "certified ratio", "sim rounds"],
+        rows,
+    )
+    return "E11 - Ablation: decomposition choice", out, stats
+
+
+def bench_e11_ideal_pipeline(benchmark):
+    problem = random_tree_problem(
+        random_forest(N, 2, seed=5, shape="caterpillar"), m=60, seed=55
+    )
+    report = benchmark(
+        solve_unit_trees, problem, epsilon=0.15, seed=7, decomposition="ideal"
+    )
+    assert report.result.layout.critical_set_size <= 6
+
+
+if __name__ == "__main__":
+    title, out, _ = run_experiment()
+    print(title, "\n", out, sep="")

@@ -1,0 +1,88 @@
+"""E12 -- Ablation: multi-stage thresholds vs PS's single stage.
+
+The Remark after Theorem 5.3, quantified: running the framework with
+the paper's geometric stage thresholds ``1 - xi^j`` drives the
+slackness to ``1 - eps`` (certified factor ``(Delta+1)/(1-eps)``),
+while the Panconesi-Sozio single-stage variant stops at
+``lambda = 1/(5+eps)`` (factor ``(Delta+1)(5+eps)``).  The price is a
+multiplicative ``log(1/eps)`` in stages -- cheap -- for a ~4.4x better
+certificate.
+"""
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import table
+
+from repro.algorithms.base import line_layouts
+from repro.core.dual import UnitRaise
+from repro.core.framework import geometric_thresholds, run_two_phase, unit_xi
+from repro.workloads import random_line_problem
+
+EPSILONS = (0.5, 0.2, 0.05)
+
+
+def run_experiment():
+    problem = random_line_problem(40, 16, r=2, seed=77, window_slack=3)
+    layout = line_layouts(problem)
+    rows = []
+    cert_by_mode = {}
+    for eps in EPSILONS:
+        multi = run_two_phase(
+            problem.instances,
+            layout,
+            UnitRaise(),
+            geometric_thresholds(unit_xi(3), eps),
+            mis="greedy",
+        )
+        single = run_two_phase(
+            problem.instances,
+            layout,
+            UnitRaise(),
+            [1.0 / (5.0 + eps)],
+            mis="greedy",
+        )
+        for mode, result in (("multi-stage", multi), ("PS single-stage", single)):
+            result.solution.verify()
+            rows.append(
+                [
+                    eps,
+                    mode,
+                    len(result.thresholds),
+                    result.slackness,
+                    result.profit,
+                    result.certified_ratio,
+                    result.counters.steps,
+                ]
+            )
+            cert_by_mode.setdefault(mode, []).append(result.certified_ratio)
+        assert multi.slackness >= 1 - eps - 1e-9
+        assert single.slackness == 1.0 / (5.0 + eps)
+        # The multi-stage certificate is strictly tighter.
+        assert multi.certified_ratio < single.certified_ratio
+    out = table(
+        ["eps", "mode", "stages", "lambda", "profit", "certified ratio", "steps"],
+        rows,
+    )
+    return "E12 - Ablation: stage thresholds (Remark after Thm 5.3)", out, {
+        mode: min(vals) for mode, vals in cert_by_mode.items()
+    }
+
+
+def bench_e12_multi_stage(benchmark):
+    problem = random_line_problem(40, 16, r=2, seed=77, window_slack=3)
+    layout = line_layouts(problem)
+    thresholds = geometric_thresholds(unit_xi(3), 0.05)
+
+    def run():
+        return run_two_phase(
+            problem.instances, layout, UnitRaise(), thresholds, mis="greedy"
+        )
+
+    result = benchmark(run)
+    assert result.slackness >= 0.95 - 1e-9
+
+
+if __name__ == "__main__":
+    title, out, _ = run_experiment()
+    print(title, "\n", out, sep="")

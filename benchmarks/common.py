@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eNN_*.py`` module reproduces one paper claim (see the
+experiment index in DESIGN.md).  The convention:
+
+* ``run_experiment()`` computes the reproduction table and returns
+  ``(title, table_string, findings_dict)``; assertions inside it encode
+  the *shape* claims (bounds hold, who wins, how things scale).
+* ``bench_*`` functions time the core computation under
+  pytest-benchmark and re-assert the claims.
+
+``python benchmarks/generate_report.py`` collects every experiment's
+table into EXPERIMENTS.md.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+
+ExperimentResult = Tuple[str, str, Dict[str, object]]
+
+
+def experiment_header(exp_id: str, claim: str) -> str:
+    """One-line banner naming the experiment and the claim it checks."""
+    return f"[{exp_id}] {claim}"
+
+
+def table(headers: Sequence[str], rows: List[Sequence[object]]) -> str:
+    """Alias for the analysis table formatter."""
+    return format_table(headers, rows)

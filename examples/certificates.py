@@ -1,0 +1,48 @@
+"""Per-run optimality certificates at scale.
+
+On instances far beyond exact search, every run of the primal-dual
+framework still *proves* how good it is: once all dual constraints are
+(1-eps)-satisfied, weak duality gives ``p(Opt) <= val(alpha,beta)/(1-eps)``.
+This example schedules hundreds of demands on large random trees and
+prints the certified optimality gap of each run -- typically under 2x,
+versus the 7.8x worst-case guarantee.
+
+Run:  python examples/certificates.py
+"""
+from repro import lp_upper_bound, solve_unit_trees
+from repro.analysis.tables import format_table
+from repro.workloads import random_tree_problem
+from repro.workloads.trees import random_forest
+
+
+def main() -> None:
+    rows = []
+    for n, m in ((128, 150), (256, 300), (512, 600)):
+        problem = random_tree_problem(
+            random_forest(n, 3, seed=n), m=m, seed=n + 1, access_size=2
+        )
+        report = solve_unit_trees(problem, epsilon=0.1, seed=0)
+        report.solution.verify()
+        lp = lp_upper_bound(problem)
+        rows.append(
+            [
+                n,
+                m,
+                f"{report.profit:.1f}",
+                f"{report.certified_upper_bound:.1f}",
+                f"{report.certified_ratio:.2f}x",
+                f"{lp / report.profit:.2f}x",
+                report.communication_rounds,
+            ]
+        )
+    print(format_table(
+        ["n", "demands", "profit", "certified OPT bound",
+         "certified gap", "LP gap", "sim rounds"],
+        rows,
+    ))
+    print("\nworst-case guarantee at eps=0.1: 7/(1-0.1) = 7.78x --")
+    print("the certificates show each actual run did far better.")
+
+
+if __name__ == "__main__":
+    main()

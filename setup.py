@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network, so
+PEP 660 editable installs (which build a wheel) are unavailable.  With
+this shim and build isolation disabled, ``pip install -e .`` falls back
+to the classic ``setup.py develop`` path, which needs neither.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""Shared plumbing for the paper's algorithms.
+
+Each algorithm is a thin configuration of the two-phase framework:
+a layout (which layered decomposition), a threshold schedule, and a
+raise rule.  :class:`AlgorithmReport` is the uniform result object the
+examples, tests and benchmarks consume.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.framework import InstanceLayout, TwoPhaseResult
+from repro.core.problem import Problem
+from repro.core.solution import Solution
+from repro.lines.layered import layered_by_length
+from repro.trees.balancing import build_balancing
+from repro.trees.decomposition import TreeDecomposition
+from repro.trees.ideal import build_ideal
+from repro.trees.layered import LayeredDecomposition, layered_from_tree_decomposition
+from repro.trees.root_fixing import build_root_fixing
+from repro.trees.tree import TreeNetwork
+
+#: Named tree-decomposition builders (Section 4).
+DECOMPOSITION_BUILDERS: Dict[str, Callable[[TreeNetwork], TreeDecomposition]] = {
+    "ideal": build_ideal,
+    "balancing": build_balancing,
+    "root_fixing": build_root_fixing,
+}
+
+
+@dataclass
+class AlgorithmReport:
+    """Uniform result of one algorithm run.
+
+    ``guarantee`` is the *provable* per-run approximation factor implied
+    by Lemma 3.1 / Lemma 6.1 for the realized ``Delta`` and ``lambda``
+    (e.g. ``7/(1-eps)`` for Theorem 5.3); ``certified_upper_bound`` is
+    the weak-duality bound ``val(alpha, beta)/lambda >= p(Opt)`` computed
+    from the run's own duals.
+    """
+
+    name: str
+    solution: Solution
+    guarantee: float
+    certified_upper_bound: float
+    result: Optional[TwoPhaseResult] = None
+    parts: Dict[str, "AlgorithmReport"] = field(default_factory=dict)
+
+    @property
+    def profit(self) -> float:
+        """``p(S)``."""
+        return self.solution.profit
+
+    @property
+    def certified_ratio(self) -> float:
+        """Certified upper bound divided by achieved profit."""
+        if self.profit <= 0:
+            return float("inf")
+        return self.certified_upper_bound / self.profit
+
+    @property
+    def communication_rounds(self) -> int:
+        """Simulated synchronous rounds (summed over parts if composite)."""
+        if self.result is not None:
+            return self.result.counters.communication_rounds
+        return sum(p.communication_rounds for p in self.parts.values())
+
+
+def tree_layouts(
+    problem: Problem, decomposition: str = "ideal"
+) -> Tuple[InstanceLayout, Dict[int, TreeDecomposition]]:
+    """Build per-network tree decompositions and merge their layered
+    decompositions into one :class:`InstanceLayout` (Lemma 4.3)."""
+    try:
+        builder = DECOMPOSITION_BUILDERS[decomposition]
+    except KeyError:
+        raise ValueError(
+            f"unknown decomposition {decomposition!r}; "
+            f"choose from {sorted(DECOMPOSITION_BUILDERS)}"
+        )
+    decomps: Dict[int, TreeDecomposition] = {}
+    layered: List[LayeredDecomposition] = []
+    by_net = problem.instances_by_network
+    for nid in sorted(problem.networks):
+        instances = by_net.get(nid, ())
+        if not instances:
+            continue
+        td = builder(problem.networks[nid])
+        decomps[nid] = td
+        layered.append(layered_from_tree_decomposition(td, instances))
+    return InstanceLayout.from_layered(layered), decomps
+
+
+def line_layouts(problem: Problem) -> InstanceLayout:
+    """Length-class layered decompositions for every line-network
+    (Section 7, ``Delta = 3``)."""
+    layered: List[LayeredDecomposition] = []
+    by_net = problem.instances_by_network
+    for nid in sorted(problem.networks):
+        if not problem.networks[nid].is_path_graph():
+            raise ValueError(f"network {nid} is not a line-network")
+        instances = by_net.get(nid, ())
+        if not instances:
+            continue
+        layered.append(layered_by_length(nid, instances))
+    return InstanceLayout.from_layered(layered)

@@ -1,0 +1,5 @@
+"""Measurement and reporting helpers for the experiments."""
+from repro.analysis.metrics import RatioReport, measure, theoretical_round_bound
+from repro.analysis.tables import format_table
+
+__all__ = ["RatioReport", "format_table", "measure", "theoretical_round_bound"]

@@ -1,0 +1,90 @@
+"""Ratio and round-complexity measurement helpers.
+
+The experiments compare each algorithm's profit against three
+yardsticks, in decreasing order of tightness:
+
+1. the exact optimum (branch-and-bound or the single-tree DP),
+2. the fractional LP optimum (scipy/HiGHS), and
+3. the run's own weak-duality certificate ``val(alpha,beta)/lambda``.
+
+All three upper-bound ``p(Opt)``, so every ratio reported is an upper
+bound on the true approximation factor achieved.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algorithms.base import AlgorithmReport
+from repro.baselines.exact import ExactSizeError, solve_exact
+from repro.core.lp import lp_upper_bound
+from repro.core.problem import Problem
+
+
+@dataclass
+class RatioReport:
+    """Measured quality of one algorithm run on one problem."""
+
+    profit: float
+    exact_opt: Optional[float]
+    lp_bound: float
+    certified_bound: float
+    guarantee: float
+
+    @property
+    def ratio_vs_exact(self) -> Optional[float]:
+        """``Opt / p(S)`` when the exact optimum is known."""
+        if self.exact_opt is None:
+            return None
+        if self.profit <= 0:
+            return math.inf if self.exact_opt > 0 else 1.0
+        return self.exact_opt / self.profit
+
+    @property
+    def ratio_vs_lp(self) -> float:
+        """``LP / p(S)`` -- an upper bound on the true ratio."""
+        if self.profit <= 0:
+            return math.inf if self.lp_bound > 0 else 1.0
+        return self.lp_bound / self.profit
+
+    @property
+    def certified_ratio(self) -> float:
+        """``(val/lambda) / p(S)`` -- the run's self-certified factor."""
+        if self.profit <= 0:
+            return math.inf
+        return self.certified_bound / self.profit
+
+
+def measure(
+    problem: Problem,
+    report: AlgorithmReport,
+    with_exact: bool = True,
+    exact_cap: int = 20,
+) -> RatioReport:
+    """Measure *report* against the available optimum yardsticks."""
+    exact_opt: Optional[float] = None
+    if with_exact and len(problem.demands) <= exact_cap:
+        try:
+            exact_opt = solve_exact(problem, max_demands=exact_cap).profit
+        except ExactSizeError:  # pragma: no cover - guarded by the check above
+            exact_opt = None
+    return RatioReport(
+        profit=report.profit,
+        exact_opt=exact_opt,
+        lp_bound=lp_upper_bound(problem),
+        certified_bound=report.certified_upper_bound,
+        guarantee=report.guarantee,
+    )
+
+
+def theoretical_round_bound(
+    n: int, epsilon: float, pmax_over_pmin: float, time_mis: float
+) -> float:
+    """The Theorem 5.3 round bound
+    ``Time(MIS) * log n * log(1/eps) * log(pmax/pmin)`` (up to constants,
+    with every log at least 1)."""
+    log_n = max(1.0, math.log2(max(2, n)))
+    log_eps = max(1.0, math.log2(1.0 / epsilon))
+    log_p = max(1.0, math.log2(max(2.0, pmax_over_pmin)))
+    return time_mis * log_n * log_eps * log_p

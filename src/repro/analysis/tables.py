@@ -1,0 +1,30 @@
+"""Plain-text table rendering for the benchmark reports."""
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell (floats get 4 significant digits)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    str_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Baselines: Panconesi-Sozio, greedy, exact branch-and-bound, tree DP."""
+from repro.baselines.exact import ExactSizeError, solve_exact
+from repro.baselines.greedy import solve_greedy
+from repro.baselines.panconesi_sozio import (
+    solve_ps_arbitrary_lines,
+    solve_ps_unit_lines,
+)
+from repro.baselines.tree_dp import TreeDPError, solve_tree_dp
+
+__all__ = [
+    "ExactSizeError",
+    "TreeDPError",
+    "solve_exact",
+    "solve_greedy",
+    "solve_ps_arbitrary_lines",
+    "solve_ps_unit_lines",
+    "solve_tree_dp",
+]

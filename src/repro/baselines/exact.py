@@ -1,0 +1,65 @@
+"""Exact optimum via branch-and-bound.
+
+Explores demands in descending-profit order; at each demand it either
+skips it or schedules one of its instances that still fits, pruning
+branches whose optimistic completion (current profit + all remaining
+profits) cannot beat the incumbent.  Exponential in the worst case --
+intended for the small instances used to measure true approximation
+ratios.  For larger instances use :func:`repro.core.lp.lp_upper_bound`
+or the per-run dual certificates instead.
+"""
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.demand import DemandInstance
+from repro.core.problem import Problem
+from repro.core.solution import CapacityLedger, Solution
+from repro.core.types import EPS
+
+
+class ExactSizeError(ValueError):
+    """Raised when the instance is too large for branch-and-bound."""
+
+
+def solve_exact(problem: Problem, max_demands: int = 26) -> Solution:
+    """Compute a maximum-profit feasible solution exactly."""
+    demands = sorted(problem.demands, key=lambda a: (-a.profit, a.demand_id))
+    if len(demands) > max_demands:
+        raise ExactSizeError(
+            f"{len(demands)} demands exceeds the branch-and-bound cap "
+            f"({max_demands}); use the LP bound instead"
+        )
+    by_demand: Dict[int, List[DemandInstance]] = {a.demand_id: [] for a in demands}
+    for d in problem.instances:
+        by_demand[d.demand_id].append(d)
+    suffix = [0.0] * (len(demands) + 1)
+    for i in range(len(demands) - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + demands[i].profit
+
+    best_profit = 0.0
+    best_selection: List[DemandInstance] = []
+    ledger = CapacityLedger()
+    current: List[DemandInstance] = []
+
+    def recurse(i: int, profit: float) -> None:
+        nonlocal best_profit, best_selection
+        if profit > best_profit + EPS:
+            best_profit = profit
+            best_selection = list(current)
+        if i == len(demands):
+            return
+        if profit + suffix[i] <= best_profit + EPS:
+            return  # even taking everything left cannot win
+        a = demands[i]
+        for d in by_demand[a.demand_id]:
+            if ledger.fits(d):
+                ledger.add(d)
+                current.append(d)
+                recurse(i + 1, profit + a.profit)
+                current.pop()
+                ledger.remove(d)
+        recurse(i + 1, profit)  # skip demand i
+
+    recurse(0, 0.0)
+    return Solution.from_instances(best_selection)

@@ -1,0 +1,57 @@
+"""Greedy admission baselines.
+
+Not part of the paper's contributions, but the natural practical
+comparator: sort demands by a priority key and admit each on the first
+accessible placement that still fits.  Greedy has no constant-factor
+guarantee on these inputs (long cheap demands can block many short
+profitable ones), which the benchmarks make visible.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.base import AlgorithmReport
+from repro.core.demand import DemandInstance
+from repro.core.problem import Problem
+from repro.core.solution import CapacityLedger, Solution
+
+
+def solve_greedy(problem: Problem, key: str = "profit") -> AlgorithmReport:
+    """Greedy baseline.
+
+    ``key`` selects the priority: ``'profit'`` (largest profit first) or
+    ``'density'`` (largest profit per unit path length first).
+    """
+    by_demand: Dict[int, List[DemandInstance]] = {}
+    for d in problem.instances:
+        by_demand.setdefault(d.demand_id, []).append(d)
+    for placements in by_demand.values():
+        placements.sort(key=lambda d: (d.length, d.instance_id))
+
+    if key == "profit":
+        priority: Callable[[int], float] = lambda a_id: problem.demand_by_id(a_id).profit
+    elif key == "density":
+
+        def priority(a_id: int) -> float:
+            shortest = min(d.length for d in by_demand[a_id])
+            return problem.demand_by_id(a_id).profit / shortest
+
+    else:
+        raise ValueError(f"unknown greedy key {key!r}")
+
+    order = sorted(by_demand, key=lambda a_id: (-priority(a_id), a_id))
+    ledger = CapacityLedger()
+    chosen: List[DemandInstance] = []
+    for a_id in order:
+        for d in by_demand[a_id]:
+            if ledger.fits(d):
+                ledger.add(d)
+                chosen.append(d)
+                break
+    solution = Solution.from_instances(chosen)
+    return AlgorithmReport(
+        name=f"greedy({key})",
+        solution=solution,
+        guarantee=float("inf"),
+        certified_upper_bound=float("inf"),
+    )

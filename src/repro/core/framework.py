@@ -1,0 +1,270 @@
+"""The two-phase primal-dual framework (Section 3.2, Figure 7).
+
+The engine is the common core of every algorithm in the paper:
+
+* **First phase** -- iterate over *epochs* (one per layered-decomposition
+  group), *stages* (a sequence of satisfaction thresholds ``tau``), and
+  *steps*: in each step, find an MIS of the still-``tau``-unsatisfied
+  instances of the current group, raise the dual variables of every MIS
+  member simultaneously (leaving their constraints tight), and push the
+  MIS onto a stack.
+* **Second phase** -- pop the stack in reverse and greedily admit
+  instances that keep the solution feasible.
+
+Algorithms differ only in (a) the layout (group + critical edges per
+instance, i.e. the layered decomposition), (b) the threshold schedule
+(the paper's multi-stage ``1 - xi^j`` thresholds, or Panconesi-Sozio's
+single ``1/(5+eps)`` threshold), (c) the raise rule (unit or heights),
+and (d) the MIS oracle.  The approximation guarantees of Lemma 3.1 and
+Lemma 6.1 follow from the interference property of the layout.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.demand import DemandInstance
+from repro.core.dual import DualState, RaiseEvent, RaiseRule
+from repro.core.solution import CapacityLedger, Solution
+from repro.core.types import EdgeKey, InstanceId
+from repro.distributed.conflict import ConflictAdjacency, build_conflict_graph, restrict
+from repro.distributed.mis import MISOracle, make_mis_oracle
+from repro.trees.layered import LayeredDecomposition
+
+
+@dataclass
+class InstanceLayout:
+    """Group index and critical edges for every instance of a problem.
+
+    ``group_of`` is 1-based; epoch ``k`` of the first phase processes the
+    union ``Gk`` of the ``k``-th groups of all per-network layered
+    decompositions (Figure 7).
+    """
+
+    group_of: Dict[InstanceId, int]
+    pi: Dict[InstanceId, Tuple[EdgeKey, ...]]
+    n_epochs: int
+
+    @property
+    def critical_set_size(self) -> int:
+        """``Delta``: the largest critical set over all instances."""
+        if not self.pi:
+            return 0
+        return max(len(p) for p in self.pi.values())
+
+    @staticmethod
+    def from_layered(decompositions: Iterable[LayeredDecomposition]) -> "InstanceLayout":
+        """Merge per-network layered decompositions (``Gk = U_q G(q)_k``)."""
+        group_of: Dict[InstanceId, int] = {}
+        pi: Dict[InstanceId, Tuple[EdgeKey, ...]] = {}
+        n_epochs = 0
+        for dec in decompositions:
+            group_of.update(dec.group_of)
+            pi.update(dec.pi)
+            n_epochs = max(n_epochs, dec.length)
+        return InstanceLayout(group_of=group_of, pi=pi, n_epochs=n_epochs)
+
+
+def geometric_thresholds(xi: float, epsilon: float) -> List[float]:
+    """The paper's stage thresholds ``1 - xi^j`` for ``j = 1..b``.
+
+    ``b`` is the smallest integer with ``xi^b <= epsilon``, so after the
+    last stage every instance of the epoch's group is ``(1-eps)``-satisfied.
+    """
+    if not 0 < xi < 1:
+        raise ValueError(f"xi must lie in (0, 1), got {xi}")
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    b = max(1, math.ceil(math.log(epsilon) / math.log(xi)))
+    return [1.0 - xi**j for j in range(1, b + 1)]
+
+
+def unit_xi(delta: int) -> float:
+    """``xi = 2 Delta' / (2 Delta' + 1)`` with ``Delta' = Delta + 1``.
+
+    Gives ``14/15`` for trees (``Delta = 6``) and ``8/9`` for lines
+    (``Delta = 3``), the constants used in Sections 5 and 7.  This is
+    the largest ``xi`` for which the kill-factor of Claim 5.2 is 2.
+    """
+    dprime = delta + 1
+    return (2 * dprime) / (2 * dprime + 1)
+
+
+def narrow_xi(delta: int, hmin: float) -> float:
+    """``xi = c / (c + hmin)`` with ``c = 2 (1 + 2 Delta^2)`` (Section 6).
+
+    Chosen so the kill-chain argument of Lemma 5.1 keeps a profit-doubling
+    factor of at least 2 under the height raise rule, yielding
+    ``O((1/hmin) log(1/eps))`` stages per epoch.
+    """
+    if not 0 < hmin <= 0.5:
+        raise ValueError(f"hmin must lie in (0, 1/2], got {hmin}")
+    c = 2.0 * (1 + 2 * delta * delta)
+    return c / (c + hmin)
+
+
+@dataclass
+class PhaseCounters:
+    """Work and communication accounting for one two-phase run."""
+
+    epochs: int = 0
+    stages: int = 0
+    steps: int = 0
+    raises: int = 0
+    mis_rounds: int = 0
+    #: max steps observed in any single (epoch, stage) -- Lemma 5.1's L.
+    max_steps_per_stage: int = 0
+    #: communication rounds: per step, Time(MIS) + 1 round to broadcast the
+    #: new dual values; phase 2 costs one announcement round per stack entry.
+    phase2_rounds: int = 0
+
+    @property
+    def communication_rounds(self) -> int:
+        """Total synchronous rounds of the simulated distributed run."""
+        return self.mis_rounds + self.steps + self.phase2_rounds
+
+
+@dataclass
+class TwoPhaseResult:
+    """Everything produced by one run of the framework."""
+
+    solution: Solution
+    dual: DualState
+    events: List[RaiseEvent]
+    stack: List[List[DemandInstance]]
+    slackness: float
+    layout: InstanceLayout
+    counters: PhaseCounters
+    thresholds: List[float]
+
+    @property
+    def profit(self) -> float:
+        """``p(S)``."""
+        return self.solution.profit
+
+    @property
+    def certified_upper_bound(self) -> float:
+        """``val(alpha, beta) / lambda >= p(Opt)`` by weak duality."""
+        return self.dual.scaled_value(self.slackness)
+
+    @property
+    def certified_ratio(self) -> float:
+        """Per-run certified approximation factor (``>= Opt/p(S)``)."""
+        if self.profit <= 0:
+            return float("inf")
+        return self.certified_upper_bound / self.profit
+
+    @property
+    def raised_delta(self) -> int:
+        """Largest critical set actually used by a raise."""
+        if not self.events:
+            return 0
+        return max(len(ev.critical_edges) for ev in self.events)
+
+
+def run_first_phase(
+    instances: Sequence[DemandInstance],
+    layout: InstanceLayout,
+    raise_rule: RaiseRule,
+    thresholds: Sequence[float],
+    mis_oracle: MISOracle,
+    conflict_adj: Optional[ConflictAdjacency] = None,
+) -> Tuple[DualState, List[List[DemandInstance]], List[RaiseEvent], PhaseCounters]:
+    """Run the first phase (Figure 7) and return its artifacts."""
+    if not thresholds:
+        raise ValueError("at least one stage threshold is required")
+    dual = DualState(use_height_rule=raise_rule.use_height_rule)
+    by_id = {d.instance_id: d for d in instances}
+    if conflict_adj is None:
+        conflict_adj = build_conflict_graph(instances)
+    groups: Dict[int, List[DemandInstance]] = {}
+    for d in instances:
+        groups.setdefault(layout.group_of[d.instance_id], []).append(d)
+    events: List[RaiseEvent] = []
+    stack: List[List[DemandInstance]] = []
+    counters = PhaseCounters()
+    order = 0
+    for epoch in range(1, layout.n_epochs + 1):
+        members = groups.get(epoch, [])
+        counters.epochs += 1
+        if not members:
+            continue
+        for stage_no, tau in enumerate(thresholds, start=1):
+            counters.stages += 1
+            step = 0
+            while True:
+                unsatisfied = [d for d in members if not dual.is_satisfied(d, tau)]
+                if not unsatisfied:
+                    break
+                step += 1
+                if step > len(members) + 1:  # cannot happen: each raise satisfies >= 1
+                    raise RuntimeError("first phase failed to make progress")
+                unsatisfied_ids = [d.instance_id for d in unsatisfied]
+                mis_ids, rounds = mis_oracle(
+                    unsatisfied,
+                    restrict(conflict_adj, unsatisfied_ids),
+                    (epoch, stage_no, step),
+                )
+                counters.mis_rounds += rounds
+                chosen = [by_id[i] for i in sorted(mis_ids)]
+                for d in chosen:
+                    delta = raise_rule.apply(dual, d, layout.pi[d.instance_id])
+                    events.append(
+                        RaiseEvent(
+                            order=order,
+                            instance=d,
+                            delta=delta,
+                            critical_edges=layout.pi[d.instance_id],
+                            step_tuple=(epoch, stage_no, step),
+                        )
+                    )
+                    order += 1
+                    counters.raises += 1
+                stack.append(chosen)
+                counters.steps += 1
+            counters.max_steps_per_stage = max(counters.max_steps_per_stage, step)
+    return dual, stack, events, counters
+
+
+def run_second_phase(stack: Sequence[Sequence[DemandInstance]]) -> Solution:
+    """Run the second phase: pop in reverse, admit greedily if feasible."""
+    ledger = CapacityLedger()
+    selected: List[DemandInstance] = []
+    for batch in reversed(stack):
+        for d in sorted(batch, key=lambda x: x.instance_id):
+            if ledger.fits(d):
+                ledger.add(d)
+                selected.append(d)
+    return Solution.from_instances(selected)
+
+
+def run_two_phase(
+    instances: Sequence[DemandInstance],
+    layout: InstanceLayout,
+    raise_rule: RaiseRule,
+    thresholds: Sequence[float],
+    mis: str = "luby",
+    seed: int = 0,
+) -> TwoPhaseResult:
+    """Run both phases and assemble a :class:`TwoPhaseResult`.
+
+    ``mis`` selects the oracle (``'luby'`` or ``'greedy'``); ``seed``
+    makes randomized runs reproducible.
+    """
+    oracle = make_mis_oracle(mis, seed)
+    dual, stack, events, counters = run_first_phase(
+        instances, layout, raise_rule, thresholds, oracle
+    )
+    solution = run_second_phase(stack)
+    counters.phase2_rounds = len(stack)
+    return TwoPhaseResult(
+        solution=solution,
+        dual=dual,
+        events=events,
+        stack=stack,
+        slackness=thresholds[-1],
+        layout=layout,
+        counters=counters,
+        thresholds=list(thresholds),
+    )

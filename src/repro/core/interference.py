@@ -1,0 +1,87 @@
+"""Verification of the interference property (Section 3.2).
+
+The approximation guarantee of Lemma 3.1 requires: for any two
+*overlapping* instances ``d1, d2`` raised in the first phase with ``d1``
+raised first, ``path(d2)`` must include a critical edge of ``d1``.
+(Conflicts through the shared demand are handled by ``alpha`` and need no
+edge condition.)
+
+These checkers replay actual raise logs and re-derive the key
+inequalities of the proofs, turning the paper's lemmas into executable
+assertions used across the test suite:
+
+* :func:`check_interference` -- the property itself.
+* :func:`check_predecessor_bound` -- claim (2) of Lemma 3.1:
+  ``p(d) >= sum_{d' in pred(d)} delta(d')`` for every raised ``d``.
+* :func:`check_dual_objective_bound` -- ``val(alpha,beta) <=
+  (increase factor) * sum delta`` (inequalities (1) and (4)).
+"""
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.dual import DualState, RaiseEvent, RaiseRule
+
+
+class InterferenceViolation(AssertionError):
+    """Raised when a raise log violates the interference property."""
+
+
+def check_interference(events: Sequence[RaiseEvent]) -> None:
+    """Check the interference property over a full raise log.
+
+    Events raised in the same step belong to one independent set and are
+    mutually non-conflicting, so only strictly earlier raises matter; we
+    still check every ordered pair for safety (a same-step overlapping
+    pair would itself be a bug).
+    """
+    for i, first in enumerate(events):
+        d1 = first.instance
+        crit = set(first.critical_edges)
+        for later in events[i + 1 :]:
+            d2 = later.instance
+            if not d1.overlaps(d2):
+                continue
+            if d2.path_edges.isdisjoint(crit):
+                raise InterferenceViolation(
+                    f"instance {d2.instance_id} (raised at {later.step_tuple}) "
+                    f"misses every critical edge of earlier instance "
+                    f"{d1.instance_id} (raised at {first.step_tuple})"
+                )
+
+
+def check_predecessor_bound(events: Sequence[RaiseEvent]) -> None:
+    """Claim (2) of Lemma 3.1 on the actual log.
+
+    For each raised instance ``d``, the sum of ``delta`` over its
+    predecessors (conflicting instances raised no later) must not exceed
+    ``p(d)``.  This is the inequality that turns the interference
+    property into the approximation bound.
+    """
+    for i, ev in enumerate(events):
+        d = ev.instance
+        pred_sum = ev.delta
+        for earlier in events[:i]:
+            if earlier.instance.conflicts_with(d):
+                pred_sum += earlier.delta
+        if pred_sum > d.profit + 1e-6 * max(1.0, d.profit):
+            raise InterferenceViolation(
+                f"predecessor deltas of instance {d.instance_id} sum to "
+                f"{pred_sum:.6g} > profit {d.profit:.6g}"
+            )
+
+
+def check_dual_objective_bound(
+    dual: DualState, events: Sequence[RaiseEvent], raise_rule: RaiseRule
+) -> None:
+    """Inequality (1)/(4): the dual objective is at most the per-raise
+    increase factor times the sum of deltas."""
+    budget = sum(
+        raise_rule.objective_increase_factor(len(ev.critical_edges)) * ev.delta
+        for ev in events
+    )
+    value = dual.value()
+    if value > budget + 1e-6 * max(1.0, budget):
+        raise InterferenceViolation(
+            f"dual objective {value:.6g} exceeds raise budget {budget:.6g}"
+        )

@@ -1,0 +1,131 @@
+"""Feasible solutions and capacity accounting.
+
+A feasible solution (Section 2) selects a subset ``S`` of demand
+instances such that (i) at most one instance per demand is selected and
+(ii) on every edge of every network the selected heights sum to at most
+one unit.  :class:`CapacityLedger` maintains that state incrementally and
+is the engine behind the second phase of the framework, the greedy
+baselines, and the exact solvers.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.demand import DemandInstance
+from repro.core.types import EPS, DemandId, EdgeKey
+
+
+class InfeasibleSolutionError(ValueError):
+    """Raised when a claimed solution violates feasibility."""
+
+
+class CapacityLedger:
+    """Incremental feasibility state: per-edge load and used demand ids."""
+
+    def __init__(self) -> None:
+        self._load: Dict[EdgeKey, float] = {}
+        self._used_demands: Set[DemandId] = set()
+
+    def fits(self, d: DemandInstance) -> bool:
+        """Whether *d* can be added without violating feasibility."""
+        if d.demand_id in self._used_demands:
+            return False
+        for e in d.path_edges:
+            if self._load.get(e, 0.0) + d.height > 1.0 + EPS:
+                return False
+        return True
+
+    def add(self, d: DemandInstance) -> None:
+        """Add *d*; raises if it does not fit."""
+        if not self.fits(d):
+            raise InfeasibleSolutionError(
+                f"instance {d.instance_id} (demand {d.demand_id}) does not fit"
+            )
+        self._used_demands.add(d.demand_id)
+        for e in d.path_edges:
+            self._load[e] = self._load.get(e, 0.0) + d.height
+
+    def remove(self, d: DemandInstance) -> None:
+        """Undo a previous :meth:`add` of *d* (used by branch-and-bound)."""
+        if d.demand_id not in self._used_demands:
+            raise KeyError(f"demand {d.demand_id} is not in the ledger")
+        self._used_demands.discard(d.demand_id)
+        for e in d.path_edges:
+            remaining = self._load.get(e, 0.0) - d.height
+            if remaining <= EPS:
+                self._load.pop(e, None)
+            else:
+                self._load[e] = remaining
+
+    def load(self, e: EdgeKey) -> float:
+        """Current height load on edge *e*."""
+        return self._load.get(e, 0.0)
+
+    def demand_used(self, demand_id: DemandId) -> bool:
+        """Whether some instance of this demand was already admitted."""
+        return demand_id in self._used_demands
+
+
+@dataclass(frozen=True)
+class Solution:
+    """An (assumed feasible) set of selected demand instances."""
+
+    selected: Tuple[DemandInstance, ...]
+
+    @staticmethod
+    def from_instances(instances: Iterable[DemandInstance]) -> "Solution":
+        """Build a solution with a deterministic instance order."""
+        return Solution(tuple(sorted(instances, key=lambda d: d.instance_id)))
+
+    @property
+    def profit(self) -> float:
+        """Total profit ``p(S)``."""
+        return sum(d.profit for d in self.selected)
+
+    @property
+    def demand_ids(self) -> Tuple[DemandId, ...]:
+        """Ids of the scheduled demands."""
+        return tuple(sorted(d.demand_id for d in self.selected))
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+    def verify(self) -> None:
+        """Raise :class:`InfeasibleSolutionError` unless feasible."""
+        ledger = CapacityLedger()
+        for d in self.selected:
+            ledger.add(d)
+
+    def is_feasible(self) -> bool:
+        """Whether the selection satisfies all feasibility constraints."""
+        try:
+            self.verify()
+        except InfeasibleSolutionError:
+            return False
+        return True
+
+    def restricted_to_network(self, network_id: int) -> "Solution":
+        """Instances of this solution scheduled on the given network."""
+        return Solution(
+            tuple(d for d in self.selected if d.network_id == network_id)
+        )
+
+
+def combine_per_network(
+    first: Solution, second: Solution, network_ids: Iterable[int]
+) -> Solution:
+    """Combine two feasible solutions network-by-network (Section 6).
+
+    For each network, keep whichever of the two solutions earns more
+    profit *on that network*.  Used by the arbitrary-height algorithms to
+    merge the wide-instance and narrow-instance solutions; feasibility is
+    preserved because the two sides schedule disjoint sets of demands
+    (every demand is entirely wide or entirely narrow).
+    """
+    chosen: List[DemandInstance] = []
+    for nid in network_ids:
+        a = first.restricted_to_network(nid)
+        b = second.restricted_to_network(nid)
+        chosen.extend(a.selected if a.profit >= b.profit else b.selected)
+    return Solution.from_instances(chosen)

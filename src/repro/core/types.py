@@ -1,0 +1,39 @@
+"""Shared type aliases and numeric tolerances.
+
+Every module in the library represents graph vertices as integers and
+edges of a particular network as ``EdgeKey`` triples ``(network_id, u, v)``
+with ``u < v``, matching the paper's representation of an edge as the
+triple ``<u, v, T>`` (Section 2, "Notation").
+"""
+from __future__ import annotations
+
+from typing import Tuple
+
+#: A vertex of a network.  The paper's vertex set ``V`` is ``{0..n-1}``.
+Vertex = int
+
+#: Identifier of a tree-network (the paper's ``T in calT``).
+NetworkId = int
+
+#: Identifier of a demand (the paper's ``a in calA``); one per processor.
+DemandId = int
+
+#: Identifier of a demand instance (an element of the paper's set ``D``).
+InstanceId = int
+
+#: Canonical representation of an edge ``<u, v, T>``: ``(T, min(u,v), max(u,v))``.
+EdgeKey = Tuple[NetworkId, Vertex, Vertex]
+
+#: Absolute tolerance used in all dual-constraint and capacity comparisons.
+#: Dual raising performs float arithmetic; a raised constraint is "tight"
+#: only up to round-off, so every satisfaction test allows this slack.
+EPS = 1e-9
+
+
+def edge_key(network_id: NetworkId, u: Vertex, v: Vertex) -> EdgeKey:
+    """Return the canonical key of the edge ``<u, v, T>``."""
+    if u == v:
+        raise ValueError(f"self-loop edge ({u}, {v}) is not allowed")
+    if u < v:
+        return (network_id, u, v)
+    return (network_id, v, u)

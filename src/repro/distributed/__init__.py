@@ -1,0 +1,72 @@
+"""Synchronous message-passing substrate and distributed protocols."""
+from repro.distributed.conflict import (
+    ConflictAdjacency,
+    build_conflict_graph,
+    is_independent,
+    restrict,
+)
+from repro.distributed.message import Message, payload_size
+from repro.distributed.mis import (
+    greedy_mis,
+    hash_luby_mis,
+    hashed_priority,
+    instance_key,
+    luby_mis,
+    make_mis_oracle,
+)
+from repro.distributed.scheduler_node import (
+    LubyBudgetExceeded,
+    ProcessorNode,
+    Schedule,
+    default_schedule,
+)
+from repro.distributed.simulator import (
+    Node,
+    SimulationMetrics,
+    SyncSimulator,
+    TopologyViolation,
+)
+
+_RUNNER_EXPORTS = {
+    "CombinedDistributedReport",
+    "DistributedRunReport",
+    "build_layout_and_thresholds",
+    "run_distributed",
+    "run_distributed_arbitrary",
+}
+
+
+def __getattr__(name):
+    # The runner depends on the algorithms package, which depends on the
+    # framework, which imports this package -- so load it lazily.
+    if name in _RUNNER_EXPORTS:
+        from repro.distributed import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ConflictAdjacency",
+    "DistributedRunReport",
+    "LubyBudgetExceeded",
+    "Message",
+    "Node",
+    "ProcessorNode",
+    "Schedule",
+    "SimulationMetrics",
+    "SyncSimulator",
+    "TopologyViolation",
+    "build_conflict_graph",
+    "build_layout_and_thresholds",
+    "default_schedule",
+    "greedy_mis",
+    "hash_luby_mis",
+    "hashed_priority",
+    "instance_key",
+    "is_independent",
+    "luby_mis",
+    "make_mis_oracle",
+    "payload_size",
+    "restrict",
+    "run_distributed",
+]

@@ -1,0 +1,54 @@
+"""Conflict graphs over demand instances (Section 2 / Section 5).
+
+Two demand instances *conflict* when they belong to the same demand or
+when they overlap (same network, sharing an edge).  MIS computations in
+the first phase run on the conflict graph restricted to the currently
+unsatisfied instances.
+
+The construction is index-based -- instances are bucketed per edge and
+per demand -- so it costs ``O(sum path lengths + #conflicting pairs)``
+rather than a blind quadratic pass.
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.core.demand import DemandInstance
+from repro.core.types import DemandId, EdgeKey, InstanceId
+
+#: Adjacency of the conflict graph: instance id -> conflicting instance ids.
+ConflictAdjacency = Dict[InstanceId, Set[InstanceId]]
+
+
+def build_conflict_graph(instances: Sequence[DemandInstance]) -> ConflictAdjacency:
+    """Build the conflict adjacency over *instances*."""
+    adj: ConflictAdjacency = {d.instance_id: set() for d in instances}
+    by_edge: Dict[EdgeKey, List[InstanceId]] = {}
+    by_demand: Dict[DemandId, List[InstanceId]] = {}
+    for d in instances:
+        by_demand.setdefault(d.demand_id, []).append(d.instance_id)
+        for e in d.path_edges:
+            by_edge.setdefault(e, []).append(d.instance_id)
+    for bucket in list(by_edge.values()) + list(by_demand.values()):
+        for i, a in enumerate(bucket):
+            for b in bucket[i + 1 :]:
+                adj[a].add(b)
+                adj[b].add(a)
+    return adj
+
+
+def is_independent(
+    ids: Iterable[InstanceId], adjacency: ConflictAdjacency
+) -> bool:
+    """Whether the given instance ids form an independent set."""
+    chosen = set(ids)
+    for a in chosen:
+        if adjacency[a] & chosen:
+            return False
+    return True
+
+
+def restrict(adjacency: ConflictAdjacency, ids: Iterable[InstanceId]) -> ConflictAdjacency:
+    """The conflict graph induced on the subset *ids*."""
+    keep = set(ids)
+    return {a: adjacency[a] & keep for a in keep}

@@ -1,0 +1,35 @@
+"""Messages of the synchronous message-passing model.
+
+A message carries a kind tag and a payload between two processors.  The
+paper bounds message size by ``O(M)`` bits, where ``M`` encodes one
+demand (endpoints, profit, height) -- every payload in this protocol is
+a constant number of such descriptors or dual-value updates, which
+:func:`payload_size` approximates for the accounting reports.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message: *src* -> *dst* with a *kind* tag and *payload*."""
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+
+
+def payload_size(payload: Any) -> int:
+    """Rough O(M)-style size of a payload, in scalar fields."""
+    if payload is None:
+        return 0
+    if isinstance(payload, (int, float, str, bool)):
+        return 1
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(payload_size(x) for x in payload)
+    if isinstance(payload, dict):
+        return sum(payload_size(k) + payload_size(v) for k, v in payload.items())
+    return 1

@@ -1,0 +1,167 @@
+"""Maximal independent set computation (the ``Time(MIS)`` primitive).
+
+The paper's first phase repeatedly computes an MIS on the conflict graph
+of unsatisfied demand instances.  It allows either Luby's randomized
+algorithm [14] (``O(log N)`` rounds w.h.p.) or the deterministic
+network-decomposition procedure of Panconesi-Srinivasan [17]
+(``O(2^sqrt(log N))`` rounds).
+
+Oracles share the signature ``oracle(candidates, adjacency, context) ->
+(mis_ids, rounds)`` where *candidates* are :class:`DemandInstance`
+objects, *adjacency* is the conflict graph restricted to them (by
+instance id), and *context* is the framework's ``(epoch, stage, step)``
+coordinate.  Three oracles are provided:
+
+* :func:`luby_mis` -- Luby's permutation variant with a seeded RNG
+  stream.  One iteration = two communication rounds (exchange
+  priorities; announce membership).
+* hash-Luby (``make_mis_oracle('hash', seed)``) -- identical process,
+  but each priority is a cryptographic hash of (seed, instance key,
+  context, iteration).  Any processor can recompute any priority
+  locally, which is exactly what the message-passing implementation in
+  :mod:`repro.distributed.scheduler_node` does -- so the logical and
+  distributed executors produce *identical* runs.
+* :func:`greedy_mis` -- deterministic lowest-id sweep, a sequential
+  stand-in for the deterministic distributed option.
+"""
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
+
+from repro.core.demand import DemandInstance
+from repro.core.types import InstanceId
+from repro.distributed.conflict import ConflictAdjacency
+
+#: Communication rounds consumed by one Luby iteration (exchange + announce).
+ROUNDS_PER_LUBY_ITERATION = 2
+
+#: Context coordinate of a framework step: (epoch, stage, step).
+StepContext = Tuple[int, int, int]
+
+#: Oracle signature.
+MISOracle = Callable[
+    [Sequence[DemandInstance], ConflictAdjacency, Optional[StepContext]],
+    Tuple[Set[InstanceId], int],
+]
+
+
+def instance_key(d: DemandInstance) -> Tuple[int, int, int, int]:
+    """Globally meaningful identity of an instance, computable by any
+    processor from a demand descriptor: (demand, network, endpoints)."""
+    return (d.demand_id, d.network_id, d.u, d.v)
+
+
+def hashed_priority(
+    seed: int, key: Tuple[int, int, int, int], context: StepContext, iteration: int
+) -> float:
+    """Deterministic pseudo-random priority in ``[0, 1)``.
+
+    A SHA-256 hash of (seed, instance key, step context, iteration);
+    every processor computes the same value with no communication.
+    """
+    digest = hashlib.sha256(
+        repr((seed, key, context, iteration)).encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def greedy_mis(
+    candidates: Sequence[DemandInstance],
+    adjacency: ConflictAdjacency,
+    context: Optional[StepContext] = None,
+) -> Tuple[Set[InstanceId], int]:
+    """Deterministic MIS: sweep candidates in increasing id order."""
+    chosen: Set[InstanceId] = set()
+    blocked: Set[InstanceId] = set()
+    for d in sorted(candidates, key=lambda x: x.instance_id):
+        v = d.instance_id
+        if v in blocked:
+            continue
+        chosen.add(v)
+        blocked.add(v)
+        blocked |= adjacency.get(v, set())
+    return chosen, 1
+
+
+def _luby_rounds(
+    candidates: Sequence[DemandInstance],
+    adjacency: ConflictAdjacency,
+    priority_fn: Callable[[DemandInstance, int], float],
+) -> Tuple[Set[InstanceId], int]:
+    """Shared Luby loop: *priority_fn(instance, iteration)* supplies draws."""
+    active: Set[InstanceId] = {d.instance_id for d in candidates}
+    by_id = {d.instance_id: d for d in candidates}
+    chosen: Set[InstanceId] = set()
+    iterations = 0
+    while active:
+        iterations += 1
+        priority: Dict[InstanceId, float] = {
+            v: priority_fn(by_id[v], iterations) for v in sorted(active)
+        }
+        joined: Set[InstanceId] = set()
+        for v in active:
+            key_v = (priority[v], v)
+            if all(
+                key_v < (priority[u], u)
+                for u in adjacency.get(v, set())
+                if u in active
+            ):
+                joined.add(v)
+        chosen |= joined
+        retire = set(joined)
+        for v in joined:
+            retire |= adjacency.get(v, set()) & active
+        active -= retire
+    return chosen, iterations * ROUNDS_PER_LUBY_ITERATION
+
+
+def luby_mis(
+    candidates: Sequence[DemandInstance],
+    adjacency: ConflictAdjacency,
+    rng: random.Random,
+) -> Tuple[Set[InstanceId], int]:
+    """Luby's randomized MIS with priorities drawn from *rng*."""
+    return _luby_rounds(candidates, adjacency, lambda d, it: rng.random())
+
+
+def hash_luby_mis(
+    candidates: Sequence[DemandInstance],
+    adjacency: ConflictAdjacency,
+    context: StepContext,
+    seed: int,
+) -> Tuple[Set[InstanceId], int]:
+    """Luby's MIS with hash-derived priorities (distributed-equivalent)."""
+    return _luby_rounds(
+        candidates,
+        adjacency,
+        lambda d, it: hashed_priority(seed, instance_key(d), context, it),
+    )
+
+
+def make_mis_oracle(kind: str, seed: int) -> MISOracle:
+    """Build an MIS oracle.
+
+    ``kind`` is ``'luby'`` (seeded RNG stream), ``'hash'`` (hash-based
+    priorities; bit-identical to the message-passing protocol) or
+    ``'greedy'`` (deterministic sweep).
+    """
+    if kind == "greedy":
+        return greedy_mis
+    if kind == "luby":
+        rng = random.Random(seed)
+
+        def rng_oracle(candidates, adjacency, context=None):
+            return luby_mis(candidates, adjacency, rng)
+
+        return rng_oracle
+    if kind == "hash":
+
+        def hash_oracle(candidates, adjacency, context=None):
+            if context is None:
+                raise ValueError("hash MIS oracle needs a step context")
+            return hash_luby_mis(candidates, adjacency, context, seed)
+
+        return hash_oracle
+    raise ValueError(f"unknown MIS oracle kind: {kind!r}")

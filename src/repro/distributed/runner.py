@@ -1,0 +1,237 @@
+"""Set up and run the full message-passing algorithm on a problem.
+
+``run_distributed`` builds one :class:`ProcessorNode` per demand, wires
+the communication graph (processors adjacent iff they share a
+resource), runs the synchronous simulator to completion, and assembles
+the solution plus a weak-duality certificate recomputed from the nodes'
+raise logs.
+
+The same layouts, thresholds and hash-based MIS priorities as the
+logical executor are used, so
+``run_distributed(...).solution == run_two_phase(..., mis='hash')``'s
+solution -- asserted by the integration tests.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dual import DualState, HeightRaise, RaiseRule, UnitRaise
+from repro.core.framework import (
+    InstanceLayout,
+    geometric_thresholds,
+    narrow_xi,
+    unit_xi,
+)
+from repro.core.problem import Problem
+from repro.core.solution import Solution
+from repro.distributed.scheduler_node import (
+    ProcessorNode,
+    Schedule,
+    default_schedule,
+)
+from repro.distributed.simulator import SimulationMetrics, SyncSimulator
+
+#: Supported algorithm kinds for the distributed runner.
+KINDS = ("unit-trees", "unit-lines", "narrow-trees", "narrow-lines")
+
+
+@dataclass
+class DistributedRunReport:
+    """Outcome of one simulated distributed run."""
+
+    solution: Solution
+    metrics: SimulationMetrics
+    schedule: Schedule
+    layout: InstanceLayout
+    thresholds: Tuple[float, ...]
+    dual_value: float
+
+    @property
+    def slackness(self) -> float:
+        return self.thresholds[-1]
+
+    @property
+    def certified_upper_bound(self) -> float:
+        """``val(alpha, beta) / lambda >= p(Opt)``."""
+        return self.dual_value / self.slackness
+
+
+def build_layout_and_thresholds(
+    problem: Problem, kind: str, epsilon: float
+) -> Tuple[InstanceLayout, List[float], RaiseRule]:
+    """The layout/threshold/raise-rule triple for each algorithm kind."""
+    # Imported here to avoid a circular import: the framework module is
+    # shared by both the algorithms package and this runner.
+    from repro.algorithms.base import line_layouts, tree_layouts
+
+    if kind not in KINDS:
+        raise ValueError(f"unknown kind {kind!r}; choose from {KINDS}")
+    if kind.startswith("unit"):
+        raise_rule: RaiseRule = UnitRaise()
+    else:
+        if not all(a.is_narrow for a in problem.demands):
+            raise ValueError("narrow kinds require every height <= 1/2")
+        raise_rule = HeightRaise()
+    if kind.endswith("trees"):
+        layout, _ = tree_layouts(problem, "ideal")
+        design_delta = max(layout.critical_set_size, 6)
+    else:
+        layout = line_layouts(problem)
+        design_delta = max(layout.critical_set_size, 3)
+    if kind.startswith("unit"):
+        xi = unit_xi(design_delta)
+    else:
+        xi = narrow_xi(design_delta, problem.hmin)
+    thresholds = geometric_thresholds(xi, epsilon)
+    return layout, thresholds, raise_rule
+
+
+def run_distributed(
+    problem: Problem,
+    kind: str = "unit-trees",
+    epsilon: float = 0.25,
+    seed: int = 0,
+    max_rounds: int = 5_000_000,
+) -> DistributedRunReport:
+    """Run the full message-passing protocol on *problem*."""
+    layout, thresholds, raise_rule = build_layout_and_thresholds(
+        problem, kind, epsilon
+    )
+    schedule = default_schedule(
+        thresholds=thresholds,
+        n_epochs=layout.n_epochs,
+        pmax_over_pmin=problem.pmax / problem.pmin,
+        n_instances=len(problem.instances),
+        seed=seed,
+    )
+    ops = schedule.build_ops()
+
+    by_owner: Dict[int, List] = {a.demand_id: [] for a in problem.demands}
+    for d in problem.instances:
+        by_owner[d.demand_id].append(d)
+    neighbor_sets: Dict[int, set] = {a.demand_id: set() for a in problem.demands}
+    for p, q in problem.communication_edges:
+        neighbor_sets[p].add(q)
+        neighbor_sets[q].add(p)
+
+    nodes: Dict[int, ProcessorNode] = {}
+    for a in problem.demands:
+        mine = by_owner[a.demand_id]
+        node_layout = {
+            d.instance_id: (layout.group_of[d.instance_id], layout.pi[d.instance_id])
+            for d in mine
+        }
+        nodes[a.demand_id] = ProcessorNode(
+            node_id=a.demand_id,
+            instances=mine,
+            layout=node_layout,
+            raise_rule=raise_rule,
+            schedule=schedule,
+            neighbors=frozenset(neighbor_sets[a.demand_id]),
+            ops=ops,
+        )
+
+    sim = SyncSimulator(nodes, problem.communication_edges)
+    metrics = sim.run(max_rounds=max_rounds)
+
+    selected = [d for node in nodes.values() for d in node.selected]
+    solution = Solution.from_instances(selected)
+    solution.verify()
+
+    # Reassemble the global dual from local state: alpha lives on its
+    # owner; each beta increment was applied by exactly one raiser.
+    dual = DualState(use_height_rule=raise_rule.use_height_rule)
+    for node in nodes.values():
+        dual.alpha.update(node.dual.alpha)
+        for (step, d, delta) in node.raise_log:
+            inc = raise_rule.beta_increment(delta, len(node.layout[d.instance_id][1]))
+            for e in node.layout[d.instance_id][1]:
+                dual.beta[e] = dual.beta.get(e, 0.0) + inc
+    return DistributedRunReport(
+        solution=solution,
+        metrics=metrics,
+        schedule=schedule,
+        layout=layout,
+        thresholds=tuple(thresholds),
+        dual_value=dual.value(),
+    )
+
+
+@dataclass
+class CombinedDistributedReport:
+    """Theorem 6.3 / 7.2 on the message-passing substrate.
+
+    Two full protocol executions -- the wide instances under the
+    unit-height algorithm and the narrow instances under the height
+    rule -- merged network-by-network (Section 6, "Overall Algorithm").
+    In a deployment both runs share the same processors; rounds add up.
+    """
+
+    solution: Solution
+    wide: Optional[DistributedRunReport]
+    narrow: Optional[DistributedRunReport]
+
+    @property
+    def total_rounds(self) -> int:
+        parts = [p for p in (self.wide, self.narrow) if p is not None]
+        return sum(p.metrics.rounds for p in parts)
+
+    @property
+    def total_messages(self) -> int:
+        parts = [p for p in (self.wide, self.narrow) if p is not None]
+        return sum(p.metrics.messages for p in parts)
+
+    @property
+    def certified_upper_bound(self) -> float:
+        """``p(Opt) <= p(Opt_wide) + p(Opt_narrow)``, each side certified."""
+        total = 0.0
+        for part in (self.wide, self.narrow):
+            if part is not None:
+                total += part.certified_upper_bound
+        return total
+
+
+def run_distributed_arbitrary(
+    problem: Problem,
+    networks: str = "trees",
+    epsilon: float = 0.25,
+    seed: int = 0,
+    max_rounds: int = 5_000_000,
+) -> CombinedDistributedReport:
+    """Run the arbitrary-height algorithm distributedly.
+
+    ``networks`` is ``'trees'`` (Theorem 6.3) or ``'lines'``
+    (Theorem 7.2).  Wide demands (h > 1/2) run the unit-height protocol,
+    narrow demands the height-rule protocol; the solutions merge per
+    network, keeping the richer side on each.
+    """
+    if networks not in ("trees", "lines"):
+        raise ValueError(f"networks must be 'trees' or 'lines', got {networks!r}")
+    from repro.core.solution import combine_per_network
+
+    unit_kind = f"unit-{networks}"
+    narrow_kind = f"narrow-{networks}"
+    if not problem.has_wide:
+        narrow = run_distributed(
+            problem, kind=narrow_kind, epsilon=epsilon, seed=seed, max_rounds=max_rounds
+        )
+        return CombinedDistributedReport(narrow.solution, wide=None, narrow=narrow)
+    if not problem.has_narrow:
+        wide = run_distributed(
+            problem, kind=unit_kind, epsilon=epsilon, seed=seed, max_rounds=max_rounds
+        )
+        return CombinedDistributedReport(wide.solution, wide=wide, narrow=None)
+    wide_problem, narrow_problem = problem.split_by_width()
+    wide = run_distributed(
+        wide_problem, kind=unit_kind, epsilon=epsilon, seed=seed, max_rounds=max_rounds
+    )
+    narrow = run_distributed(
+        narrow_problem, kind=narrow_kind, epsilon=epsilon, seed=seed,
+        max_rounds=max_rounds,
+    )
+    combined = combine_per_network(
+        wide.solution, narrow.solution, sorted(problem.networks)
+    )
+    combined.verify()
+    return CombinedDistributedReport(combined, wide=wide, narrow=narrow)

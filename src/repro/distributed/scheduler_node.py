@@ -1,0 +1,339 @@
+"""Processor nodes for the distributed two-phase algorithm (Section 5,
+"Distributed Implementation").
+
+One node per processor/demand.  The whole run follows a globally known
+script of operations (computable by every processor from the public
+parameters ``n``, ``pmax/pmin``, ``eps`` and the network topologies, as
+the paper assumes):
+
+* ``hello`` -- processors broadcast O(M)-size descriptors of their
+  demand instances (endpoints, profit, height) to their neighbors; the
+  receiver reconstructs paths locally since networks are common
+  knowledge.
+* per (epoch ``k``, stage ``j``, step ``t``): ``R`` Luby iterations --
+  each a ``prio`` round (broadcast hash-derived priorities of active =
+  currently unsatisfied group-``k`` instances) and a ``join`` round
+  (announce MIS membership) -- followed by one ``raise`` round where
+  MIS members raise their duals and broadcast the ``beta`` increments
+  of their critical edges.
+* phase 2: one ``decide`` round per step tuple in reverse order;
+  processors pop their local stacks and announce admissions.
+
+Priorities are cryptographic hashes of (seed, instance key, step,
+iteration), so the run is bit-identical to the logical executor with
+the ``'hash'`` MIS oracle -- which the test suite asserts.
+
+Each processor's state is strictly local: its own duals (its ``alpha``
+and its view of the ``beta`` of edges it hears about), its own stack,
+and descriptors received from neighbors.  Consistency holds because any
+two instances that can interact share a network, hence their owners are
+neighbors in the communication graph.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.demand import DemandInstance
+from repro.core.dual import DualState, RaiseRule
+from repro.core.types import EPS, EdgeKey, InstanceId
+from repro.distributed.message import Message
+from repro.distributed.mis import hashed_priority, instance_key
+from repro.distributed.simulator import Node
+
+#: Public identity of an instance on the wire: (demand, network, u, v).
+WireKey = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The globally known script parameters (shared by all processors)."""
+
+    thresholds: Tuple[float, ...]
+    n_epochs: int
+    steps_per_stage: int
+    luby_iterations: int
+    seed: int
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.thresholds)
+
+    def build_ops(self) -> List[Tuple]:
+        """The full per-round operation script."""
+        ops: List[Tuple] = [("hello",)]
+        step_tuples: List[Tuple[int, int, int]] = []
+        for k in range(1, self.n_epochs + 1):
+            for j in range(1, self.stage_count + 1):
+                for t in range(1, self.steps_per_stage + 1):
+                    step_tuples.append((k, j, t))
+                    for r in range(1, self.luby_iterations + 1):
+                        ops.append(("prio", k, j, t, r))
+                        ops.append(("join", k, j, t, r))
+                    ops.append(("raise", k, j, t))
+        for k, j, t in reversed(step_tuples):
+            ops.append(("decide", k, j, t))
+        ops.append(("finish",))
+        return ops
+
+
+def default_schedule(
+    thresholds: Sequence[float],
+    n_epochs: int,
+    pmax_over_pmin: float,
+    n_instances: int,
+    seed: int,
+) -> Schedule:
+    """Schedule with the provable step bound and a w.h.p. Luby budget.
+
+    Steps per stage follow Lemma 5.1 (kill factor 2 for the library's
+    ``xi`` choices): ``1 + ceil(log2(pmax/pmin))`` plus one slack step.
+    The Luby budget is ``2*ceil(log2 N) + 6`` iterations, which the
+    nodes *assert* was sufficient (it is, w.h.p.).
+    """
+    steps = 2 + max(0, math.ceil(math.log2(max(1.0, pmax_over_pmin))))
+    luby = 2 * math.ceil(math.log2(max(2, n_instances))) + 6
+    return Schedule(
+        thresholds=tuple(thresholds),
+        n_epochs=n_epochs,
+        steps_per_stage=steps,
+        luby_iterations=luby,
+        seed=seed,
+    )
+
+
+class LubyBudgetExceeded(RuntimeError):
+    """The fixed Luby iteration budget did not complete the MIS."""
+
+
+class ProcessorNode(Node):
+    """One processor: owns one demand and runs the full protocol."""
+
+    def __init__(
+        self,
+        node_id: int,
+        instances: Sequence[DemandInstance],
+        layout: Dict[InstanceId, Tuple[int, Tuple[EdgeKey, ...]]],
+        raise_rule: RaiseRule,
+        schedule: Schedule,
+        neighbors: FrozenSet[int],
+        ops: Optional[List[Tuple]] = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.instances = list(instances)
+        for d in self.instances:
+            if d.demand_id != node_id:
+                raise ValueError("a processor owns exactly its own demand's instances")
+        self.layout = dict(layout)
+        self.raise_rule = raise_rule
+        self.schedule = schedule
+        self.neighbor_ids = sorted(neighbors)
+        self.ops = ops if ops is not None else schedule.build_ops()
+        # Local dual view: own alpha, plus beta of every edge heard about.
+        self.dual = DualState(use_height_rule=raise_rule.use_height_rule)
+        # Neighbor instance knowledge (from hello round).
+        self._neighbor_edges: Dict[WireKey, FrozenSet[EdgeKey]] = {}
+        self._neighbor_height: Dict[WireKey, float] = {}
+        self._conflicts: Dict[InstanceId, Set[WireKey]] = {}
+        # Luby state.
+        self._active: Set[InstanceId] = set()
+        self._my_prio: Dict[InstanceId, float] = {}
+        self._joined: List[InstanceId] = []
+        # Stack, raises, phase-2 state.
+        self.stack: List[Tuple[Tuple[int, int, int], DemandInstance]] = []
+        self.raise_log: List[Tuple[Tuple[int, int, int], DemandInstance, float]] = []
+        self._occupancy: Dict[EdgeKey, float] = {}
+        self.selected: List[DemandInstance] = []
+        self._demand_used = False
+        self._halted = False
+        self._by_id = {d.instance_id: d for d in self.instances}
+
+    # ------------------------------------------------------------------
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def _broadcast(self, kind: str, payload) -> List[Message]:
+        return [
+            Message(self.node_id, nb, kind, payload) for nb in self.neighbor_ids
+        ]
+
+    # ------------------------------------------------------------------
+    # Inbox processing (message kinds other than prio, handled inline)
+    # ------------------------------------------------------------------
+    def _process_inbox(self, inbox: Sequence[Message]) -> Dict[WireKey, float]:
+        neighbor_prios: Dict[WireKey, float] = {}
+        for msg in inbox:
+            if msg.kind == "hello":
+                self._on_hello(msg)
+            elif msg.kind == "raise":
+                for edge, inc in msg.payload:
+                    self.dual.beta[edge] = self.dual.beta.get(edge, 0.0) + inc
+            elif msg.kind == "joined":
+                self._on_joined(msg.payload)
+            elif msg.kind == "selected":
+                key, height = msg.payload
+                for e in self._neighbor_edges[key]:
+                    self._occupancy[e] = self._occupancy.get(e, 0.0) + height
+            elif msg.kind == "prio":
+                key, prio = msg.payload
+                neighbor_prios[key] = prio
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown message kind {msg.kind!r}")
+        return neighbor_prios
+
+    def _on_hello(self, msg: Message) -> None:
+        key, edges, height = msg.payload
+        edge_set = frozenset(edges)
+        self._neighbor_edges[key] = edge_set
+        self._neighbor_height[key] = height
+        for d in self.instances:
+            if d.network_id == key[1] and not d.path_edges.isdisjoint(edge_set):
+                self._conflicts.setdefault(d.instance_id, set()).add(key)
+
+    def _on_joined(self, key: WireKey) -> None:
+        self._active = {
+            iid
+            for iid in self._active
+            if key not in self._conflicts.get(iid, ())
+        }
+
+    # ------------------------------------------------------------------
+    # Round dispatch
+    # ------------------------------------------------------------------
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        if round_no >= len(self.ops):
+            return []
+        op = self.ops[round_no]
+        kind = op[0]
+        if kind == "hello":
+            out: List[Message] = []
+            for d in self.instances:
+                payload = (instance_key(d), tuple(sorted(d.path_edges)), d.height)
+                out.extend(self._broadcast("hello", payload))
+            return out
+        if kind == "prio":
+            return self._round_prio(op, inbox)
+        if kind == "join":
+            return self._round_join(op, inbox)
+        if kind == "raise":
+            return self._round_raise(op, inbox)
+        if kind == "decide":
+            return self._round_decide(op, inbox)
+        if kind == "finish":
+            self._process_inbox(inbox)
+            self._assert_phase1_complete()
+            self._halted = True
+            return []
+        raise RuntimeError(f"unknown op {op!r}")  # pragma: no cover
+
+    def _round_prio(self, op: Tuple, inbox: Sequence[Message]) -> List[Message]:
+        _, k, j, t, r = op
+        self._process_inbox(inbox)
+        if r == 1:
+            tau = self.schedule.thresholds[j - 1]
+            self._active = {
+                d.instance_id
+                for d in self.instances
+                if self.layout[d.instance_id][0] == k
+                and not self.dual.is_satisfied(d, tau)
+            }
+            self._joined = []
+        out: List[Message] = []
+        self._my_prio = {}
+        for iid in sorted(self._active):
+            d = self._by_id[iid]
+            prio = hashed_priority(self.schedule.seed, instance_key(d), (k, j, t), r)
+            self._my_prio[iid] = prio
+            out.extend(self._broadcast("prio", (instance_key(d), prio)))
+        return out
+
+    def _round_join(self, op: Tuple, inbox: Sequence[Message]) -> List[Message]:
+        neighbor_prios = self._process_inbox(inbox)
+        out: List[Message] = []
+        newly_joined: List[InstanceId] = []
+        for iid in sorted(self._active):
+            d = self._by_id[iid]
+            mine = (self._my_prio[iid], instance_key(d))
+            beaten = False
+            # Conflicting neighbor instances that are active this iteration.
+            for nkey in self._conflicts.get(iid, ()):
+                if nkey in neighbor_prios and (neighbor_prios[nkey], nkey) < mine:
+                    beaten = True
+                    break
+            if not beaten:
+                # My other active instances all conflict (same demand).
+                for other in self._active:
+                    if other == iid:
+                        continue
+                    o = self._by_id[other]
+                    if (self._my_prio[other], instance_key(o)) < mine:
+                        beaten = True
+                        break
+            if not beaten:
+                newly_joined.append(iid)
+        for iid in newly_joined:
+            d = self._by_id[iid]
+            self._joined.append(iid)
+            out.extend(self._broadcast("joined", instance_key(d)))
+        if newly_joined:
+            # All of my instances share my demand, so a join retires them all.
+            self._active.clear()
+        return out
+
+    def _round_raise(self, op: Tuple, inbox: Sequence[Message]) -> List[Message]:
+        _, k, j, t = op
+        self._process_inbox(inbox)
+        if self._active:
+            raise LubyBudgetExceeded(
+                f"node {self.node_id}: {len(self._active)} instances still "
+                f"active after {self.schedule.luby_iterations} Luby iterations"
+            )
+        out: List[Message] = []
+        for iid in sorted(self._joined):
+            d = self._by_id[iid]
+            critical = self.layout[iid][1]
+            delta = self.raise_rule.apply(self.dual, d, critical)
+            inc = self.raise_rule.beta_increment(delta, len(critical))
+            self.stack.append(((k, j, t), d))
+            self.raise_log.append(((k, j, t), d, delta))
+            out.extend(
+                self._broadcast("raise", tuple((e, inc) for e in critical))
+            )
+        self._joined = []
+        return out
+
+    def _round_decide(self, op: Tuple, inbox: Sequence[Message]) -> List[Message]:
+        _, k, j, t = op
+        self._process_inbox(inbox)
+        out: List[Message] = []
+        while self.stack and self.stack[-1][0] == (k, j, t):
+            _, d = self.stack.pop()
+            if self._fits(d):
+                self.selected.append(d)
+                self._demand_used = True
+                for e in d.path_edges:
+                    self._occupancy[e] = self._occupancy.get(e, 0.0) + d.height
+                out.extend(
+                    self._broadcast("selected", (instance_key(d), d.height))
+                )
+        return out
+
+    def _fits(self, d: DemandInstance) -> bool:
+        if self._demand_used:
+            return False
+        for e in d.path_edges:
+            if self._occupancy.get(e, 0.0) + d.height > 1.0 + EPS:
+                return False
+        return True
+
+    def _assert_phase1_complete(self) -> None:
+        """Every instance must be lambda-satisfied when phase 1 ends."""
+        final_tau = self.schedule.thresholds[-1]
+        for d in self.instances:
+            if not self.dual.is_satisfied(d, final_tau):
+                raise RuntimeError(
+                    f"node {self.node_id}: instance {d.instance_id} ended "
+                    f"phase 1 only {self.dual.lhs(d) / d.profit:.4f}-satisfied"
+                )

@@ -1,0 +1,103 @@
+"""Synchronous message-passing simulator (the paper's computation model).
+
+Processors run in lock-step rounds.  In each round every node reads the
+messages delivered to it (those sent in the previous round), performs
+local computation, and emits messages to its communication-graph
+neighbors; the simulator enforces the topology, delivers messages with
+one round of latency, and accounts rounds / message counts / message
+volume.  Two processors may exchange messages only if they share an
+accessible resource (Section 2).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.distributed.message import Message, payload_size
+
+
+class TopologyViolation(RuntimeError):
+    """Raised when a node messages a non-neighbor."""
+
+
+class Node:
+    """Base class for protocol participants."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        """Process this round; return outgoing messages."""
+        raise NotImplementedError
+
+    @property
+    def halted(self) -> bool:
+        """Whether this node has finished its protocol."""
+        return False
+
+
+@dataclass
+class SimulationMetrics:
+    """Accounting for one simulated run."""
+
+    rounds: int = 0
+    messages: int = 0
+    volume: int = 0  # sum of payload sizes, in scalar fields
+    max_messages_per_round: int = 0
+
+
+class SyncSimulator:
+    """Round-synchronous executor over a fixed communication graph."""
+
+    def __init__(
+        self,
+        nodes: Dict[int, Node],
+        links: Iterable[Tuple[int, int]],
+    ) -> None:
+        self.nodes = dict(nodes)
+        self._neighbors: Dict[int, Set[int]] = {nid: set() for nid in self.nodes}
+        for a, b in links:
+            if a not in self.nodes or b not in self.nodes:
+                raise KeyError(f"link ({a}, {b}) references unknown node")
+            if a == b:
+                continue
+            self._neighbors[a].add(b)
+            self._neighbors[b].add(a)
+        self.metrics = SimulationMetrics()
+
+    def neighbors(self, node_id: int) -> FrozenSet[int]:
+        """Communication-graph neighbors of a node."""
+        return frozenset(self._neighbors[node_id])
+
+    def run(self, max_rounds: int = 1_000_000) -> SimulationMetrics:
+        """Run until every node halts (or the round budget is exhausted)."""
+        pending: Dict[int, List[Message]] = {nid: [] for nid in self.nodes}
+        for round_no in range(max_rounds):
+            if all(node.halted for node in self.nodes.values()) and not any(
+                pending.values()
+            ):
+                return self.metrics
+            self.metrics.rounds += 1
+            next_pending: Dict[int, List[Message]] = {nid: [] for nid in self.nodes}
+            sent_this_round = 0
+            for nid in sorted(self.nodes):
+                node = self.nodes[nid]
+                outbox = node.on_round(round_no, pending[nid])
+                for msg in outbox:
+                    if msg.src != nid:
+                        raise TopologyViolation(
+                            f"node {nid} forged a message from {msg.src}"
+                        )
+                    if msg.dst not in self._neighbors[nid]:
+                        raise TopologyViolation(
+                            f"node {nid} messaged non-neighbor {msg.dst}"
+                        )
+                    next_pending[msg.dst].append(msg)
+                    sent_this_round += 1
+                    self.metrics.volume += payload_size(msg.payload)
+            self.metrics.messages += sent_this_round
+            self.metrics.max_messages_per_round = max(
+                self.metrics.max_messages_per_round, sent_this_round
+            )
+            pending = next_pending
+        raise RuntimeError(f"simulation exceeded {max_rounds} rounds")

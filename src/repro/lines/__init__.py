@@ -1,0 +1,18 @@
+"""Line-networks as timelines and their length-class decomposition."""
+from repro.lines.layered import layered_by_length
+from repro.lines.line import (
+    edge_to_slot,
+    instance_mid_slot,
+    instance_slots,
+    make_line_network,
+    slot_to_edge,
+)
+
+__all__ = [
+    "edge_to_slot",
+    "instance_mid_slot",
+    "instance_slots",
+    "layered_by_length",
+    "make_line_network",
+    "slot_to_edge",
+]

@@ -1,0 +1,54 @@
+"""Line-networks as path-shaped tree-networks (Section 1 reformulation).
+
+A line-network with ``n`` timeslots is the path on vertices ``0..n``;
+timeslot ``t`` is the edge ``(t, t+1)``.  A demand occupying slots
+``[s, e]`` (inclusive) is the path between vertices ``s`` and ``e+1``.
+These helpers convert between the slot view and the vertex/edge view.
+"""
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.demand import DemandInstance
+from repro.core.types import EdgeKey, NetworkId, edge_key
+from repro.trees.tree import make_line_network
+
+__all__ = [
+    "make_line_network",
+    "slot_to_edge",
+    "edge_to_slot",
+    "instance_slots",
+    "instance_mid_slot",
+]
+
+
+def slot_to_edge(network_id: NetworkId, slot: int) -> EdgeKey:
+    """The edge representing timeslot *slot*."""
+    if slot < 0:
+        raise ValueError(f"slot must be non-negative, got {slot}")
+    return edge_key(network_id, slot, slot + 1)
+
+
+def edge_to_slot(e: EdgeKey) -> int:
+    """The timeslot represented by a line-network edge."""
+    _, u, v = e
+    if v != u + 1:
+        raise ValueError(f"{e} is not a line-network edge")
+    return u
+
+
+def instance_slots(d: DemandInstance) -> Tuple[int, int]:
+    """``(s(d), e(d))``: first and last timeslot occupied by *d*.
+
+    Assumes *d* lives on a line-network, where its path is the vertex
+    interval ``[min(u, v), max(u, v)]``.
+    """
+    lo = min(d.u, d.v)
+    hi = max(d.u, d.v)
+    return lo, hi - 1
+
+
+def instance_mid_slot(d: DemandInstance) -> int:
+    """``mid(d) = floor((s(d) + e(d)) / 2)`` (Section 7)."""
+    s, e = instance_slots(d)
+    return (s + e) // 2

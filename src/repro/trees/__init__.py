@@ -1,0 +1,32 @@
+"""Tree-network substrate and the Section 4 decompositions."""
+from repro.trees.balancing import build_balancing
+from repro.trees.decomposition import (
+    InvalidDecompositionError,
+    TreeDecomposition,
+)
+from repro.trees.ideal import build_ideal
+from repro.trees.layered import (
+    LayeredDecomposition,
+    LayeredDecompositionError,
+    bending_point,
+    layered_from_tree_decomposition,
+    wings,
+)
+from repro.trees.root_fixing import build_root_fixing
+from repro.trees.tree import NotATreeError, TreeNetwork, make_line_network
+
+__all__ = [
+    "InvalidDecompositionError",
+    "LayeredDecomposition",
+    "LayeredDecompositionError",
+    "NotATreeError",
+    "TreeDecomposition",
+    "TreeNetwork",
+    "bending_point",
+    "build_balancing",
+    "build_ideal",
+    "build_root_fixing",
+    "layered_from_tree_decomposition",
+    "make_line_network",
+    "wings",
+]

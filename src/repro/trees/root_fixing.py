@@ -1,0 +1,44 @@
+"""Root-fixing tree decomposition (Section 4.2).
+
+Pick an arbitrary root ``g`` and use the tree itself, rooted at ``g``, as
+the decomposition.  Every component ``C(z)`` is the subtree under ``z``
+and has exactly one neighbor (the parent of ``z``), so the pivot size is
+``theta = 1`` -- but the depth can be as large as ``n``.
+
+The sequential algorithm of Appendix A implicitly uses this
+decomposition.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.types import Vertex
+from repro.trees.decomposition import TreeDecomposition
+from repro.trees.tree import TreeNetwork
+
+
+def build_root_fixing(network: TreeNetwork, root: Optional[Vertex] = None) -> TreeDecomposition:
+    """Build the root-fixing decomposition of *network*.
+
+    Parameters
+    ----------
+    network:
+        The tree-network ``T``.
+    root:
+        The root ``g``; defaults to the smallest vertex.
+    """
+    if root is None:
+        root = network.vertices[0]
+    if not network.has_vertex(root):
+        raise ValueError(f"root {root} is not a vertex of the network")
+    parent: Dict[Vertex, Optional[Vertex]] = {root: None}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for w in network.neighbors(u):
+                if w not in parent:
+                    parent[w] = u
+                    nxt.append(w)
+        frontier = nxt
+    return TreeDecomposition(network, parent)

@@ -1,0 +1,27 @@
+"""Workload generators and the paper's worked examples."""
+from repro.workloads.demands import random_tree_problem
+from repro.workloads.lines import random_line_problem
+from repro.workloads.scenarios import (
+    figure1_problem,
+    figure2_network,
+    figure2_problem,
+    figure6_demand,
+    figure6_network,
+    figure6_problem,
+)
+from repro.workloads.trees import SHAPES, random_forest, random_tree, random_tree_edges
+
+__all__ = [
+    "SHAPES",
+    "figure1_problem",
+    "figure2_network",
+    "figure2_problem",
+    "figure6_demand",
+    "figure6_network",
+    "figure6_problem",
+    "random_forest",
+    "random_line_problem",
+    "random_tree",
+    "random_tree_edges",
+    "random_tree_problem",
+]

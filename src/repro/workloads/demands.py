@@ -1,0 +1,117 @@
+"""Random demand generators.
+
+Profits, endpoints, heights and accessibility patterns for the
+point-to-point (tree) experiments.  Everything is deterministic under
+the seed.
+"""
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.demand import Demand
+from repro.core.problem import Problem
+from repro.trees.tree import TreeNetwork
+
+
+def _random_profit(rng: random.Random, profile: str, pmax_over_pmin: float) -> float:
+    """Draw a profit in ``[1, pmax_over_pmin]`` under the given profile."""
+    if pmax_over_pmin < 1:
+        raise ValueError("pmax/pmin must be at least 1")
+    if profile == "uniform":
+        return rng.uniform(1.0, pmax_over_pmin)
+    if profile == "powerlaw":
+        # Heavier tail: quadratic transform of a uniform draw.
+        u = rng.random()
+        return 1.0 + (pmax_over_pmin - 1.0) * u * u
+    if profile == "two-point":
+        return 1.0 if rng.random() < 0.5 else float(pmax_over_pmin)
+    raise ValueError(f"unknown profit profile {profile!r}")
+
+
+def _random_height(rng: random.Random, profile: str, hmin: float) -> float:
+    if profile == "unit":
+        return 1.0
+    if profile == "uniform":
+        return rng.uniform(hmin, 1.0)
+    if profile == "narrow":
+        return rng.uniform(hmin, 0.5)
+    if profile == "bimodal":
+        return rng.uniform(hmin, 0.4) if rng.random() < 0.5 else rng.uniform(0.6, 1.0)
+    raise ValueError(f"unknown height profile {profile!r}")
+
+
+def _random_endpoints(
+    rng: random.Random, network: TreeNetwork, locality: Optional[int]
+) -> Tuple[int, int]:
+    """A random vertex pair; with *locality*, endpoints at most that many
+    edges apart (drawn via a random walk)."""
+    verts = network.vertices
+    u = rng.choice(verts)
+    if locality is None:
+        v = rng.choice(verts)
+        while v == u:
+            v = rng.choice(verts)
+        return u, v
+    v = u
+    steps = rng.randint(1, max(1, locality))
+    prev = None
+    for _ in range(steps):
+        options = [w for w in network.neighbors(v) if w != prev] or list(
+            network.neighbors(v)
+        )
+        prev, v = v, rng.choice(options)
+    if v == u:
+        v = rng.choice(network.neighbors(u))
+    return u, v
+
+
+def random_tree_problem(
+    networks: Dict[int, TreeNetwork],
+    m: int,
+    seed: int = 0,
+    profit_profile: str = "uniform",
+    pmax_over_pmin: float = 10.0,
+    height_profile: str = "unit",
+    hmin: float = 0.1,
+    locality: Optional[int] = None,
+    access_size: Optional[int] = None,
+) -> Problem:
+    """A random problem over the given tree-networks.
+
+    Parameters
+    ----------
+    m:
+        Number of demands (= processors).
+    locality:
+        If set, demand endpoints are at most this many edges apart.
+    access_size:
+        Networks accessible per processor (random subset); defaults to
+        all networks.
+    """
+    rng = random.Random(seed)
+    network_ids = sorted(networks)
+    demands: List[Demand] = []
+    access: Dict[int, Tuple[int, ...]] = {}
+    # Endpoints must exist in every accessible network; all generators in
+    # this package share the vertex set 0..n-1, so sample from the
+    # smallest network to stay safe.
+    smallest = min(networks.values(), key=lambda net: net.n_vertices)
+    for demand_id in range(m):
+        u, v = _random_endpoints(rng, smallest, locality)
+        demands.append(
+            Demand(
+                demand_id=demand_id,
+                u=u,
+                v=v,
+                profit=_random_profit(rng, profit_profile, pmax_over_pmin),
+                height=_random_height(rng, height_profile, hmin),
+            )
+        )
+        if access_size is None or access_size >= len(network_ids):
+            access[demand_id] = tuple(network_ids)
+        else:
+            access[demand_id] = tuple(
+                sorted(rng.sample(network_ids, access_size))
+            )
+    return Problem(networks=networks, demands=demands, access=access)

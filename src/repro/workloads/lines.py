@@ -1,0 +1,70 @@
+"""Random window workloads for line-networks (Section 7).
+
+Jobs with release/deadline windows and processing times on one or more
+line resources -- the "natural applications" setting of the paper's
+introduction (machine scheduling over a timeline).
+"""
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.demand import WindowDemand
+from repro.core.problem import Problem
+from repro.trees.tree import TreeNetwork, make_line_network
+from repro.workloads.demands import _random_height, _random_profit
+
+
+def random_line_problem(
+    n_slots: int,
+    m: int,
+    r: int = 1,
+    seed: int = 0,
+    min_processing: int = 1,
+    max_processing: Optional[int] = None,
+    window_slack: int = 4,
+    profit_profile: str = "uniform",
+    pmax_over_pmin: float = 10.0,
+    height_profile: str = "unit",
+    hmin: float = 0.1,
+    access_size: Optional[int] = None,
+) -> Problem:
+    """A random window-scheduling problem on ``r`` line resources.
+
+    Parameters
+    ----------
+    n_slots:
+        Timeline length (number of timeslots per resource).
+    window_slack:
+        Window length exceeds the processing time by up to this many
+        slots (0 = rigid jobs with a single placement per resource).
+    """
+    if max_processing is None:
+        max_processing = max(min_processing, n_slots // 4)
+    max_processing = min(max_processing, n_slots)
+    rng = random.Random(seed)
+    networks: Dict[int, TreeNetwork] = {
+        q: make_line_network(q, n_slots) for q in range(r)
+    }
+    demands: List[WindowDemand] = []
+    access: Dict[int, Tuple[int, ...]] = {}
+    for demand_id in range(m):
+        rho = rng.randint(min_processing, max_processing)
+        slack = rng.randint(0, window_slack)
+        release = rng.randint(0, max(0, n_slots - rho - slack))
+        deadline = min(n_slots - 1, release + rho + slack - 1)
+        demands.append(
+            WindowDemand(
+                demand_id=demand_id,
+                release=release,
+                deadline=deadline,
+                processing=rho,
+                profit=_random_profit(rng, profit_profile, pmax_over_pmin),
+                height=_random_height(rng, height_profile, hmin),
+            )
+        )
+        if access_size is None or access_size >= r:
+            access[demand_id] = tuple(range(r))
+        else:
+            access[demand_id] = tuple(sorted(rng.sample(range(r), access_size)))
+    return Problem(networks=networks, demands=demands, access=access)

@@ -1,0 +1,107 @@
+"""Named scenarios, including the paper's worked examples.
+
+* :func:`figure1_problem` -- the line-network illustration of Figure 1
+  (demands A, B, C with heights 0.5, 0.7, 0.4; {A,C} and {B,C} are
+  feasible together, {A,B} is not).
+* :func:`figure2_problem` -- the tree-network of Figure 2 (demands
+  <1,10>, <2,3>, <12,13> all sharing edge <4,5>; with heights
+  0.4/0.7/0.3 the first and third fit together).
+* :func:`figure6_network` -- the example tree of Figure 6, consistent
+  with every fact the paper states about it (path of <4,13> is
+  4-2-5-8-13; bending points w.r.t. 3 and 9 are 2 and 5; node 4 has one
+  wing <4,2>; node 8 has wings <5,8> and <8,13>; rooting at 1 captures
+  <4,13> at node 2).
+"""
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.demand import Demand, WindowDemand
+from repro.core.problem import Problem
+from repro.trees.tree import TreeNetwork, make_line_network
+
+
+def figure1_problem(
+    profits: Tuple[float, float, float] = (1.0, 1.0, 1.0)
+) -> Problem:
+    """The Figure 1 line-network example.
+
+    One resource of 10 timeslots; demands (as slot intervals):
+    A = [1, 6] with height 0.5, B = [0, 3] with height 0.7,
+    C = [5, 9] with height 0.4.  A and B overlap on slots [1, 3]
+    (combined height 1.2 > 1); A and C overlap on [5, 6] (0.9 <= 1);
+    B and C are disjoint.
+    """
+    network = make_line_network(0, 10)
+    p_a, p_b, p_c = profits
+    demands = [
+        WindowDemand(demand_id=0, release=1, deadline=6, processing=6, profit=p_a, height=0.5),
+        WindowDemand(demand_id=1, release=0, deadline=3, processing=4, profit=p_b, height=0.7),
+        WindowDemand(demand_id=2, release=5, deadline=9, processing=5, profit=p_c, height=0.4),
+    ]
+    return Problem(networks={0: network}, demands=demands)
+
+
+FIGURE2_EDGES = [
+    (2, 1), (12, 1), (1, 4), (4, 5), (5, 9), (9, 10), (5, 13), (13, 3),
+    (4, 6), (6, 7), (5, 8), (9, 11), (13, 14),
+]
+
+
+def figure2_network(network_id: int = 0) -> TreeNetwork:
+    """The Figure 2 tree-network (14 vertices).
+
+    Constructed so the three demands <1,10>, <2,3>, <12,13> all route
+    through the edge <4,5>, as the caption requires.
+    """
+    return TreeNetwork(network_id, FIGURE2_EDGES)
+
+
+def figure2_problem(unit_height: bool = False) -> Problem:
+    """The Figure 2 example: three demands sharing edge <4,5>.
+
+    With ``unit_height`` all heights are 1 (only one demand can be
+    scheduled); otherwise heights are 0.4, 0.7, 0.3 (first and third
+    coexist).
+    """
+    network = figure2_network()
+    heights = (1.0, 1.0, 1.0) if unit_height else (0.4, 0.7, 0.3)
+    demands = [
+        Demand(demand_id=0, u=1, v=10, profit=1.0, height=heights[0]),
+        Demand(demand_id=1, u=2, v=3, profit=1.0, height=heights[1]),
+        Demand(demand_id=2, u=12, v=13, profit=1.0, height=heights[2]),
+    ]
+    return Problem(networks={0: network}, demands=demands)
+
+
+FIGURE6_EDGES = [
+    (1, 2), (2, 4), (2, 5), (5, 8), (8, 13), (5, 9), (9, 12),
+    (1, 15), (15, 6), (15, 14), (6, 3), (6, 10), (3, 7), (14, 11),
+]
+
+
+def figure6_network(network_id: int = 0) -> TreeNetwork:
+    """The Figure 6 example tree-network (15 vertices, labelled 1..15)."""
+    return TreeNetwork(network_id, FIGURE6_EDGES)
+
+
+def figure6_demand() -> Demand:
+    """The demand <4, 13> discussed throughout Section 4."""
+    return Demand(demand_id=0, u=4, v=13, profit=1.0)
+
+
+def figure6_problem() -> Problem:
+    """A small unit-height problem on the Figure 6 tree.
+
+    Includes <4,13> plus a handful of demands that exercise captures at
+    several depths of the decompositions.
+    """
+    demands = [
+        figure6_demand(),
+        Demand(demand_id=1, u=12, v=13, profit=2.0),
+        Demand(demand_id=2, u=7, v=10, profit=1.5),
+        Demand(demand_id=3, u=11, v=6, profit=1.0),
+        Demand(demand_id=4, u=4, v=7, profit=3.0),
+        Demand(demand_id=5, u=9, v=8, profit=1.0),
+    ]
+    return Problem(networks={0: figure6_network()}, demands=demands)

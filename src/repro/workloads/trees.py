@@ -1,0 +1,86 @@
+"""Random tree generators.
+
+All generators are deterministic under their seed and produce trees
+over the vertex set ``0..n-1``.  Shapes cover the regimes that stress
+different parts of the decomposition machinery: uniform random trees
+(Prüfer), paths (worst case for root-fixing depth), stars (best case),
+caterpillars, complete-ish binary trees, and brooms.
+"""
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.trees.tree import TreeNetwork
+
+SHAPES = ("uniform", "path", "star", "caterpillar", "binary", "broom")
+
+
+def random_tree_edges(n: int, seed: int = 0, shape: str = "uniform") -> List[Tuple[int, int]]:
+    """Edge list of a random tree on vertices ``0..n-1``."""
+    if n < 1:
+        raise ValueError("a tree needs at least one vertex")
+    if n == 1:
+        return []
+    rng = random.Random(seed)
+    if shape == "uniform":
+        return _from_pruefer(n, rng)
+    if shape == "path":
+        return [(i, i + 1) for i in range(n - 1)]
+    if shape == "star":
+        return [(0, i) for i in range(1, n)]
+    if shape == "caterpillar":
+        spine = max(2, n // 2)
+        edges = [(i, i + 1) for i in range(spine - 1)]
+        for v in range(spine, n):
+            edges.append((rng.randrange(spine), v))
+        return edges
+    if shape == "binary":
+        return [((v - 1) // 2, v) for v in range(1, n)]
+    if shape == "broom":
+        handle = max(2, n // 2)
+        edges = [(i, i + 1) for i in range(handle - 1)]
+        for v in range(handle, n):
+            edges.append((handle - 1, v))
+        return edges
+    raise ValueError(f"unknown tree shape {shape!r}; choose from {SHAPES}")
+
+
+def _from_pruefer(n: int, rng: random.Random) -> List[Tuple[int, int]]:
+    """Uniformly random labelled tree via a random Prüfer sequence."""
+    if n == 2:
+        return [(0, 1)]
+    seq = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for x in seq:
+        degree[x] += 1
+    edges: List[Tuple[int, int]] = []
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for x in seq:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, x))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return edges
+
+
+def random_tree(n: int, seed: int = 0, shape: str = "uniform", network_id: int = 0) -> TreeNetwork:
+    """A random :class:`TreeNetwork` on ``0..n-1``."""
+    return TreeNetwork(network_id, random_tree_edges(n, seed, shape))
+
+
+def random_forest(
+    n: int, r: int, seed: int = 0, shape: str = "uniform"
+) -> dict[int, TreeNetwork]:
+    """``r`` independent random tree-networks over the same vertex set."""
+    return {
+        q: TreeNetwork(q, random_tree_edges(n, seed + 7919 * q, shape))
+        for q in range(r)
+    }

@@ -1,0 +1,154 @@
+"""Tests for the arbitrary-height tree algorithms (Section 6)."""
+import pytest
+
+from repro.algorithms.arbitrary_trees import solve_arbitrary_trees
+from repro.algorithms.narrow_trees import solve_narrow_trees
+from repro.baselines.exact import solve_exact
+from repro.core.lp import check_scaled_dual_feasible, lp_upper_bound
+from repro.workloads import figure2_problem, random_tree_problem
+from repro.workloads.trees import random_forest
+
+
+class TestNarrowTrees:
+    def test_rejects_wide_demands(self):
+        problem = random_tree_problem(
+            random_forest(15, 1, seed=1), m=6, seed=2, height_profile="bimodal"
+        )
+        with pytest.raises(ValueError):
+            solve_narrow_trees(problem)
+
+    def test_rejects_bad_hmin(self):
+        problem = random_tree_problem(
+            random_forest(15, 1, seed=1), m=6, seed=2,
+            height_profile="narrow", hmin=0.1,
+        )
+        with pytest.raises(ValueError):
+            solve_narrow_trees(problem, hmin=0.45)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma_62_guarantee(self, seed):
+        problem = random_tree_problem(
+            random_forest(18, 2, seed=seed), m=11, seed=seed + 40,
+            height_profile="narrow", hmin=0.15,
+        )
+        report = solve_narrow_trees(problem, epsilon=0.1, seed=seed)
+        report.solution.verify()
+        opt = solve_exact(problem).profit
+        assert opt <= report.guarantee * report.profit + 1e-6
+        # Lemma 6.1 with Delta <= 6: (2*36+1)/(1-eps)
+        assert report.guarantee <= 73.0 / 0.9 + 1e-9
+
+    def test_slackness_reached(self):
+        problem = random_tree_problem(
+            random_forest(16, 2, seed=9), m=8, seed=10,
+            height_profile="narrow", hmin=0.2,
+        )
+        report = solve_narrow_trees(problem, epsilon=0.15, seed=0)
+        check_scaled_dual_feasible(
+            report.result.dual, problem.instances, report.result.slackness
+        )
+        assert report.result.slackness >= 0.85
+
+    def test_identical_narrow_demands_respect_guarantee(self):
+        # Four identical narrow demands fit together (4 * 0.25 = 1), but
+        # the framework only admits instances it raised: once a couple
+        # are tight, the rest are lambda-satisfied and never stacked.
+        # The guarantee must still hold.
+        from repro.core.demand import Demand
+        from repro.core.problem import Problem
+        from repro.trees.tree import TreeNetwork
+
+        net = TreeNetwork(0, [(0, 1), (1, 2)])
+        demands = [Demand(i, 0, 2, profit=1.0, height=0.25) for i in range(4)]
+        problem = Problem(networks={0: net}, demands=demands)
+        report = solve_narrow_trees(problem, epsilon=0.05, mis="greedy")
+        report.solution.verify()
+        opt = solve_exact(problem).profit
+        assert opt == pytest.approx(4.0)
+        assert opt <= report.guarantee * report.profit + 1e-6
+
+    def test_second_phase_packs_stacked_narrow_instances(self):
+        # When narrow instances are all on the stack, phase 2 does pack
+        # them by height rather than edge-disjointness.
+        from repro.core.framework import run_second_phase
+        from repro.core.demand import Demand
+        from repro.core.problem import Problem
+        from repro.trees.tree import TreeNetwork
+
+        net = TreeNetwork(0, [(0, 1), (1, 2)])
+        demands = [Demand(i, 0, 2, profit=1.0, height=0.25) for i in range(4)]
+        problem = Problem(networks={0: net}, demands=demands)
+        stack = [[d] for d in problem.instances]
+        solution = run_second_phase(stack)
+        assert len(solution) == 4
+
+
+class TestArbitraryTrees:
+    def test_figure2_heights(self):
+        """Figure 2: heights .4/.7/.3 -- first and third can coexist."""
+        problem = figure2_problem()
+        report = solve_arbitrary_trees(problem, epsilon=0.05, mis="greedy")
+        report.solution.verify()
+        assert report.profit >= 1.0
+        assert solve_exact(problem).profit == 2.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_theorem_63_guarantee(self, seed):
+        problem = random_tree_problem(
+            random_forest(18, 2, seed=seed + 7), m=12, seed=seed + 70,
+            height_profile="bimodal", hmin=0.15,
+        )
+        report = solve_arbitrary_trees(problem, epsilon=0.1, seed=seed)
+        report.solution.verify()
+        opt = solve_exact(problem).profit
+        assert opt <= report.guarantee * report.profit + 1e-6
+        assert report.certified_upper_bound >= opt - 1e-6
+
+    def test_all_wide_falls_back_to_unit(self):
+        problem = random_tree_problem(
+            random_forest(15, 2, seed=3), m=8, seed=4, height_profile="unit"
+        )
+        report = solve_arbitrary_trees(problem, epsilon=0.1, seed=1)
+        assert report.name.startswith("unit-trees")
+
+    def test_all_narrow_falls_back_to_narrow(self):
+        problem = random_tree_problem(
+            random_forest(15, 2, seed=5), m=8, seed=6,
+            height_profile="narrow", hmin=0.2,
+        )
+        report = solve_arbitrary_trees(problem, epsilon=0.1, seed=1)
+        assert report.name.startswith("narrow-trees")
+
+    def test_mixed_has_parts(self):
+        problem = random_tree_problem(
+            random_forest(15, 2, seed=7), m=10, seed=8,
+            height_profile="bimodal", hmin=0.2,
+        )
+        report = solve_arbitrary_trees(problem, epsilon=0.1, seed=1)
+        assert set(report.parts) == {"wide", "narrow"}
+        assert report.guarantee == pytest.approx(
+            report.parts["wide"].guarantee + report.parts["narrow"].guarantee
+        )
+        # Combined solution is at least as good as either side.
+        assert report.profit >= max(
+            report.parts["wide"].profit, report.parts["narrow"].profit
+        ) - 1e-9
+
+    def test_no_demand_scheduled_twice(self):
+        problem = random_tree_problem(
+            random_forest(15, 3, seed=9), m=12, seed=10,
+            height_profile="bimodal", hmin=0.2,
+        )
+        report = solve_arbitrary_trees(problem, epsilon=0.1, seed=2)
+        ids = [d.demand_id for d in report.solution.selected]
+        assert len(ids) == len(set(ids))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lp_bound_respected(self, seed):
+        problem = random_tree_problem(
+            random_forest(24, 2, seed=seed + 50), m=25, seed=seed + 51,
+            height_profile="uniform", hmin=0.1,
+        )
+        report = solve_arbitrary_trees(problem, epsilon=0.2, seed=seed)
+        report.solution.verify()
+        assert report.profit <= lp_upper_bound(problem) + 1e-6

@@ -1,0 +1,127 @@
+"""Tests for Theorem 5.3 (unit heights, trees)."""
+import pytest
+
+from repro.algorithms.unit_trees import solve_unit_trees
+from repro.baselines.exact import solve_exact
+from repro.baselines.tree_dp import solve_tree_dp
+from repro.core.interference import check_interference
+from repro.core.lp import check_scaled_dual_feasible
+from repro.workloads import figure2_problem, figure6_problem, random_tree_problem
+from repro.workloads.trees import random_forest, random_tree
+
+
+class TestBasics:
+    def test_rejects_heights_by_default(self):
+        problem = figure2_problem()  # heights < 1
+        with pytest.raises(ValueError):
+            solve_unit_trees(problem)
+
+    def test_allows_heights_when_asked(self):
+        problem = figure2_problem()
+        report = solve_unit_trees(problem, allow_heights=True)
+        report.solution.verify()
+
+    def test_unknown_decomposition(self):
+        with pytest.raises(ValueError):
+            solve_unit_trees(figure2_problem(unit_height=True), decomposition="magic")
+
+    def test_figure2_selects_exactly_one(self):
+        problem = figure2_problem(unit_height=True)
+        report = solve_unit_trees(problem, epsilon=0.05, mis="greedy")
+        # All three demands share edge <4,5>: only one can be scheduled.
+        assert len(report.solution) == 1
+        assert report.profit == 1.0
+
+    def test_figure6_problem(self):
+        problem = figure6_problem()
+        report = solve_unit_trees(problem, epsilon=0.05, mis="greedy")
+        report.solution.verify()
+        opt = solve_exact(problem).profit
+        assert report.profit >= opt / report.guarantee - 1e-9
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ratio_within_7_eps(self, seed):
+        problem = random_tree_problem(
+            random_forest(22, 2, seed=seed), m=13, seed=seed + 31
+        )
+        report = solve_unit_trees(problem, epsilon=0.1, seed=seed)
+        report.solution.verify()
+        opt = solve_exact(problem).profit
+        assert opt <= report.guarantee * report.profit + 1e-6
+        assert report.guarantee <= 7.0 / (1 - 0.1) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_certificate_bounds_opt(self, seed):
+        problem = random_tree_problem(
+            random_forest(20, 2, seed=seed + 100), m=12, seed=seed
+        )
+        report = solve_unit_trees(problem, epsilon=0.1, seed=seed)
+        opt = solve_exact(problem).profit
+        assert report.certified_upper_bound >= opt - 1e-6
+
+    def test_single_tree_against_dp(self):
+        problem = random_tree_problem({0: random_tree(30, seed=8)}, m=16, seed=9)
+        report = solve_unit_trees(problem, epsilon=0.05, seed=1)
+        opt = solve_tree_dp(problem)
+        assert report.profit <= opt + 1e-6
+        assert opt <= report.guarantee * report.profit + 1e-6
+
+    @pytest.mark.parametrize("decomposition", ["ideal", "balancing", "root_fixing"])
+    def test_all_decompositions_sound(self, decomposition):
+        problem = random_tree_problem(
+            random_forest(18, 2, seed=5), m=10, seed=6
+        )
+        report = solve_unit_trees(
+            problem, epsilon=0.1, seed=2, decomposition=decomposition
+        )
+        report.solution.verify()
+        opt = solve_exact(problem).profit
+        assert opt <= report.guarantee * report.profit + 1e-6
+
+
+class TestRunInternals:
+    def test_interference_and_slackness(self):
+        problem = random_tree_problem(
+            random_forest(20, 2, seed=17), m=12, seed=18
+        )
+        report = solve_unit_trees(problem, epsilon=0.1, seed=3)
+        result = report.result
+        check_interference(result.events)
+        check_scaled_dual_feasible(result.dual, problem.instances, result.slackness)
+        assert result.slackness >= 0.9
+
+    def test_delta_at_most_six(self):
+        problem = random_tree_problem(
+            random_forest(40, 2, seed=21), m=20, seed=22
+        )
+        report = solve_unit_trees(problem, epsilon=0.2, seed=4)
+        assert report.result.layout.critical_set_size <= 6
+
+    @pytest.mark.parametrize("mis", ["luby", "greedy", "hash"])
+    def test_mis_oracles_interchangeable(self, mis):
+        problem = random_tree_problem(
+            random_forest(16, 2, seed=23), m=10, seed=24
+        )
+        report = solve_unit_trees(problem, epsilon=0.2, seed=5, mis=mis)
+        report.solution.verify()
+        opt = solve_exact(problem).profit
+        assert opt <= report.guarantee * report.profit + 1e-6
+
+    def test_epsilon_tightens_slackness(self):
+        problem = random_tree_problem(
+            random_forest(16, 2, seed=25), m=8, seed=26
+        )
+        loose = solve_unit_trees(problem, epsilon=0.5, seed=6)
+        tight = solve_unit_trees(problem, epsilon=0.02, seed=6)
+        assert tight.result.slackness > loose.result.slackness
+        assert tight.guarantee < loose.guarantee
+
+    def test_accessibility_respected(self):
+        problem = random_tree_problem(
+            random_forest(20, 3, seed=27), m=12, seed=28, access_size=1
+        )
+        report = solve_unit_trees(problem, epsilon=0.2, seed=7)
+        for d in report.solution.selected:
+            assert d.network_id in problem.access[d.demand_id]

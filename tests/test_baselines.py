@@ -1,0 +1,209 @@
+"""Tests for the baselines: exact B&B, tree DP, greedy, Panconesi-Sozio."""
+import itertools
+
+import pytest
+
+from repro.baselines.exact import ExactSizeError, solve_exact
+from repro.baselines.greedy import solve_greedy
+from repro.baselines.panconesi_sozio import (
+    solve_ps_arbitrary_lines,
+    solve_ps_unit_lines,
+)
+from repro.baselines.tree_dp import TreeDPError, solve_tree_dp
+from repro.core.solution import CapacityLedger, Solution
+from repro.workloads import (
+    figure1_problem,
+    figure2_problem,
+    random_line_problem,
+    random_tree_problem,
+)
+from repro.workloads.trees import random_forest, random_tree
+
+
+def brute_force_optimum(problem):
+    """Reference optimum by enumerating all instance subsets."""
+    instances = problem.instances
+    best = 0.0
+    for k in range(1, len(instances) + 1):
+        for combo in itertools.combinations(instances, k):
+            ledger = CapacityLedger()
+            ok = True
+            for d in combo:
+                if not ledger.fits(d):
+                    ok = False
+                    break
+                ledger.add(d)
+            if ok:
+                best = max(best, sum(d.profit for d in combo))
+    return best
+
+
+class TestExactBranchAndBound:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force_trees(self, seed):
+        problem = random_tree_problem(
+            random_forest(10, 2, seed=seed), m=6, seed=seed + 13
+        )
+        assert solve_exact(problem).profit == pytest.approx(
+            brute_force_optimum(problem)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_brute_force_heights(self, seed):
+        problem = random_tree_problem(
+            random_forest(10, 2, seed=seed + 5), m=6, seed=seed + 17,
+            height_profile="uniform", hmin=0.2,
+        )
+        assert solve_exact(problem).profit == pytest.approx(
+            brute_force_optimum(problem)
+        )
+
+    def test_solution_is_feasible(self):
+        problem = random_tree_problem(random_forest(15, 2, seed=1), m=10, seed=2)
+        solve_exact(problem).verify()
+
+    def test_size_cap(self):
+        problem = random_tree_problem(random_forest(10, 1, seed=1), m=8, seed=3)
+        with pytest.raises(ExactSizeError):
+            solve_exact(problem, max_demands=5)
+
+    def test_figure_examples(self):
+        assert solve_exact(figure1_problem()).profit == 2.0
+        assert solve_exact(figure2_problem()).profit == 2.0
+        assert solve_exact(figure2_problem(unit_height=True)).profit == 1.0
+
+
+class TestTreeDP:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_branch_and_bound(self, seed):
+        problem = random_tree_problem(
+            {0: random_tree(18, seed=seed)}, m=10, seed=seed + 29
+        )
+        assert solve_tree_dp(problem) == pytest.approx(solve_exact(problem).profit)
+
+    @pytest.mark.parametrize("shape", ["path", "star", "caterpillar", "binary"])
+    def test_shapes(self, shape):
+        problem = random_tree_problem(
+            {0: random_tree(16, seed=3, shape=shape)}, m=9, seed=31
+        )
+        assert solve_tree_dp(problem) == pytest.approx(solve_exact(problem).profit)
+
+    def test_two_demands_through_one_vertex(self):
+        # A star where two demands can pair up through the center.
+        from repro.core.demand import Demand
+        from repro.core.problem import Problem
+        from repro.trees.tree import TreeNetwork
+
+        net = TreeNetwork(0, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        demands = [
+            Demand(0, 1, 2, profit=3.0),
+            Demand(1, 3, 4, profit=2.0),
+            Demand(2, 1, 3, profit=4.0),
+        ]
+        problem = Problem(networks={0: net}, demands=demands)
+        # Best: {0, 1} (profit 5) beats {2} (profit 4).
+        assert solve_tree_dp(problem) == pytest.approx(5.0)
+
+    def test_chain_blocking(self):
+        # A long demand blocks a chain; DP must re-solve beneath it.
+        from repro.core.demand import Demand
+        from repro.core.problem import Problem
+        from repro.trees.tree import make_line_network
+
+        line = make_line_network(0, 6)
+        demands = [
+            Demand(0, 0, 6, profit=2.5),
+            Demand(1, 0, 3, profit=1.5),
+            Demand(2, 3, 6, profit=1.5),
+        ]
+        problem = Problem(networks={0: line}, demands=demands)
+        assert solve_tree_dp(problem) == pytest.approx(3.0)
+
+    def test_rejects_multiple_networks(self):
+        problem = random_tree_problem(random_forest(10, 2, seed=1), m=4, seed=1)
+        with pytest.raises(TreeDPError):
+            solve_tree_dp(problem)
+
+    def test_rejects_heights(self):
+        problem = random_tree_problem(
+            {0: random_tree(10, seed=2)}, m=4, seed=2,
+            height_profile="narrow", hmin=0.3,
+        )
+        with pytest.raises(TreeDPError):
+            solve_tree_dp(problem)
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("key", ["profit", "density"])
+    def test_feasible(self, key):
+        problem = random_tree_problem(random_forest(20, 2, seed=4), m=15, seed=5)
+        report = solve_greedy(problem, key=key)
+        report.solution.verify()
+
+    def test_profit_order_respected(self):
+        problem = figure2_problem(unit_height=True)
+        report = solve_greedy(problem)
+        assert len(report.solution) == 1
+
+    def test_unknown_key(self):
+        with pytest.raises(ValueError):
+            solve_greedy(figure1_problem(), key="vibes")
+
+    def test_greedy_can_be_suboptimal(self):
+        # A high-profit long demand blocks two demands worth more jointly.
+        from repro.core.demand import Demand
+        from repro.core.problem import Problem
+        from repro.trees.tree import make_line_network
+
+        line = make_line_network(0, 4)
+        demands = [
+            Demand(0, 0, 4, profit=3.0),
+            Demand(1, 0, 2, profit=2.0),
+            Demand(2, 2, 4, profit=2.0),
+        ]
+        problem = Problem(networks={0: line}, demands=demands)
+        report = solve_greedy(problem, key="profit")
+        assert report.profit == 3.0
+        assert solve_exact(problem).profit == 4.0
+
+
+class TestPanconesiSozio:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unit_guarantee(self, seed):
+        problem = random_line_problem(30, 10, r=2, seed=seed + 43)
+        report = solve_ps_unit_lines(problem, epsilon=0.1, seed=seed)
+        report.solution.verify()
+        opt = solve_exact(problem).profit
+        assert opt <= report.guarantee * report.profit + 1e-6
+        # (Delta+1)/lambda = 4 * (5 + eps)
+        assert report.guarantee <= 4 * 5.1 + 1e-9
+
+    def test_slackness_is_one_over_5_eps(self):
+        problem = random_line_problem(25, 8, r=2, seed=47)
+        report = solve_ps_unit_lines(problem, epsilon=0.1, seed=0)
+        assert report.result.slackness == pytest.approx(1 / 5.1)
+        from repro.core.lp import check_scaled_dual_feasible
+
+        check_scaled_dual_feasible(
+            report.result.dual, problem.instances, report.result.slackness
+        )
+
+    def test_single_stage(self):
+        problem = random_line_problem(25, 8, r=2, seed=48)
+        report = solve_ps_unit_lines(problem, epsilon=0.1, seed=0)
+        assert len(report.result.thresholds) == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_arbitrary_heights(self, seed):
+        problem = random_line_problem(
+            25, 9, r=2, seed=seed + 53, height_profile="bimodal", hmin=0.2
+        )
+        report = solve_ps_arbitrary_lines(problem, epsilon=0.1, seed=seed)
+        report.solution.verify()
+        opt = solve_exact(problem).profit
+        assert opt <= report.guarantee * report.profit + 1e-6
+
+    def test_rejects_heights_in_unit_mode(self):
+        problem = random_line_problem(20, 6, seed=57, height_profile="narrow")
+        with pytest.raises(ValueError):
+            solve_ps_unit_lines(problem)

@@ -1,0 +1,223 @@
+"""Tests for tree decompositions (Section 4): root-fixing, balancing, ideal."""
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.balancing import build_balancing
+from repro.trees.decomposition import InvalidDecompositionError, TreeDecomposition
+from repro.trees.ideal import build_ideal
+from repro.trees.root_fixing import build_root_fixing
+from repro.trees.tree import TreeNetwork, make_line_network
+from repro.workloads.scenarios import figure6_network
+from repro.workloads.trees import SHAPES, random_tree
+
+BUILDERS = {
+    "root_fixing": build_root_fixing,
+    "balancing": build_balancing,
+    "ideal": build_ideal,
+}
+
+
+class TestDecompositionContainer:
+    def test_rejects_multiple_roots(self):
+        net = TreeNetwork(0, [(0, 1)])
+        with pytest.raises(InvalidDecompositionError):
+            TreeDecomposition(net, {0: None, 1: None})
+
+    def test_rejects_wrong_vertex_set(self):
+        net = TreeNetwork(0, [(0, 1), (1, 2)])
+        with pytest.raises(InvalidDecompositionError):
+            TreeDecomposition(net, {0: None, 1: 0})
+
+    def test_rejects_cycle(self):
+        net = TreeNetwork(0, [(0, 1), (1, 2)])
+        with pytest.raises(InvalidDecompositionError):
+            TreeDecomposition(net, {0: 2, 1: 0, 2: 1})
+
+    def test_component_of(self):
+        net = TreeNetwork(0, [(0, 1), (1, 2), (2, 3)])
+        td = build_root_fixing(net, root=0)
+        assert td.component_of(2) == frozenset({2, 3})
+        assert td.component_of(0) == frozenset({0, 1, 2, 3})
+
+    def test_ancestor_queries(self):
+        net = TreeNetwork(0, [(0, 1), (1, 2), (2, 3)])
+        td = build_root_fixing(net, root=0)
+        assert td.is_ancestor_or_self(0, 3)
+        assert td.is_ancestor_or_self(2, 2)
+        assert not td.is_ancestor_or_self(3, 2)
+        assert td.ancestors_or_self(3) == [3, 2, 1, 0]
+
+    def test_depth_convention_root_is_one(self):
+        net = TreeNetwork(0, [(0, 1)])
+        td = build_root_fixing(net, root=0)
+        assert td.depth[0] == 1 and td.depth[1] == 2
+
+
+class TestRootFixing:
+    def test_pivot_size_is_one(self):
+        net = random_tree(40, seed=3)
+        td = build_root_fixing(net)
+        assert td.pivot_size == 1
+
+    def test_depth_of_path_is_n(self):
+        line = make_line_network(0, 9)  # 10 vertices
+        td = build_root_fixing(line, root=0)
+        assert td.max_depth == 10
+
+    def test_custom_root(self):
+        net = TreeNetwork(0, [(0, 1), (1, 2)])
+        td = build_root_fixing(net, root=2)
+        assert td.root == 2
+
+    def test_rejects_unknown_root(self):
+        net = TreeNetwork(0, [(0, 1)])
+        with pytest.raises(ValueError):
+            build_root_fixing(net, root=5)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_valid_decomposition(self, shape):
+        net = random_tree(20, seed=1, shape=shape)
+        build_root_fixing(net).verify()
+
+
+class TestBalancing:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_valid_decomposition(self, shape):
+        net = random_tree(20, seed=2, shape=shape)
+        build_balancing(net).verify()
+
+    @pytest.mark.parametrize("n", [2, 5, 17, 64, 100])
+    def test_depth_logarithmic(self, n):
+        net = random_tree(n, seed=4)
+        td = build_balancing(net)
+        assert td.max_depth <= math.ceil(math.log2(n)) + 1
+
+    def test_pivot_can_exceed_two_on_path(self):
+        line = make_line_network(0, 63)  # 64 vertices
+        td = build_balancing(line)
+        # The balancing decomposition's weakness: pivots grow with depth.
+        assert td.pivot_size >= 2
+        assert td.pivot_size <= td.max_depth
+
+    def test_pivot_bounded_by_depth(self):
+        # Neighbors of C(z) are always ancestors of z.
+        for seed in range(5):
+            net = random_tree(30, seed=seed)
+            td = build_balancing(net)
+            assert td.pivot_size <= td.max_depth
+
+
+class TestIdeal:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_valid_decomposition(self, shape, seed):
+        net = random_tree(24, seed=seed, shape=shape)
+        build_ideal(net).verify()
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("n", [2, 3, 9, 33, 128])
+    def test_lemma_41_pivot_size_at_most_two(self, shape, n):
+        net = random_tree(n, seed=7, shape=shape)
+        td = build_ideal(net)
+        assert td.pivot_size <= 2
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("n", [2, 3, 9, 33, 128])
+    def test_lemma_41_depth_logarithmic(self, shape, n):
+        net = random_tree(n, seed=8, shape=shape)
+        td = build_ideal(net)
+        assert td.max_depth <= 2 * math.ceil(math.log2(n)) + 1
+
+    def test_single_vertex(self):
+        net = TreeNetwork(0, [], vertices=[3])
+        td = build_ideal(net)
+        assert td.max_depth == 1 and td.root == 3
+
+    def test_single_edge(self):
+        net = TreeNetwork(0, [(0, 1)])
+        td = build_ideal(net)
+        td.verify()
+        assert td.max_depth == 2
+
+    def test_star(self):
+        net = TreeNetwork(0, [(0, i) for i in range(1, 30)])
+        td = build_ideal(net)
+        td.verify()
+        assert td.root == 0
+        assert td.max_depth == 2
+
+    def test_figure6_network(self):
+        net = figure6_network()
+        td = build_ideal(net)
+        td.verify()
+        assert td.pivot_size <= 2
+        assert td.max_depth <= 2 * math.ceil(math.log2(15)) + 1
+
+
+class TestCaptureNodes:
+    def test_capture_is_min_depth_on_path(self):
+        net = figure6_network()
+        from repro.core.demand import Demand
+        from repro.core.problem import Problem
+
+        p = Problem(networks={0: net}, demands=[Demand(0, 4, 13, 1.0)])
+        (inst,) = p.instances
+        # Rooting at 1 captures <4,13> at node 2 (Appendix A example).
+        td = build_root_fixing(net, root=1)
+        assert td.capture_node(inst) == 2
+
+    @pytest.mark.parametrize("builder_name", list(BUILDERS))
+    def test_capture_lies_on_path(self, builder_name):
+        net = random_tree(25, seed=11)
+        td = BUILDERS[builder_name](net)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(25):
+            u, v = rng.sample(net.vertices, 2)
+            path = net.path_vertices(u, v)
+            mu = td.capture_node_of_path(path)
+            assert mu in path
+            assert td.depth[mu] == min(td.depth[x] for x in path)
+
+    @pytest.mark.parametrize("builder_name", list(BUILDERS))
+    def test_capture_unique_min_depth(self, builder_name):
+        # The LCA property makes the min-depth node on a path unique.
+        net = random_tree(25, seed=12)
+        td = BUILDERS[builder_name](net)
+        import random
+
+        rng = random.Random(1)
+        for _ in range(25):
+            u, v = rng.sample(net.vertices, 2)
+            path = net.path_vertices(u, v)
+            depths = sorted(td.depth[x] for x in path)
+            assert depths[0] < depths[1] if len(depths) > 1 else True
+
+
+@st.composite
+def random_network(draw):
+    n = draw(st.integers(min_value=2, max_value=48))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    shape = draw(st.sampled_from(SHAPES))
+    return random_tree(n, seed=seed, shape=shape)
+
+
+class TestIdealProperties:
+    @given(random_network())
+    @settings(max_examples=40, deadline=None)
+    def test_ideal_is_valid_with_good_parameters(self, net):
+        td = build_ideal(net)
+        td.verify()
+        assert td.pivot_size <= 2
+        assert td.max_depth <= 2 * math.ceil(math.log2(net.n_vertices)) + 1
+
+    @given(random_network())
+    @settings(max_examples=25, deadline=None)
+    def test_balancing_is_valid(self, net):
+        td = build_balancing(net)
+        td.verify()
+        assert td.max_depth <= math.ceil(math.log2(net.n_vertices)) + 1

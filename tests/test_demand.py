@@ -1,0 +1,134 @@
+"""Tests for demands, window demands, and demand instances."""
+import pytest
+
+from repro.core.demand import Demand, DemandInstance, WindowDemand
+from repro.core.types import edge_key
+
+
+class TestDemand:
+    def test_valid(self):
+        a = Demand(0, 1, 5, profit=2.0, height=0.5)
+        assert a.is_narrow and not a.is_wide
+
+    def test_wide_boundary(self):
+        assert Demand(0, 1, 2, 1.0, height=0.5).is_narrow
+        assert Demand(0, 1, 2, 1.0, height=0.51).is_wide
+        assert Demand(0, 1, 2, 1.0, height=1.0).is_wide
+
+    def test_rejects_equal_endpoints(self):
+        with pytest.raises(ValueError):
+            Demand(0, 3, 3, profit=1.0)
+
+    @pytest.mark.parametrize("profit", [0.0, -1.0])
+    def test_rejects_nonpositive_profit(self, profit):
+        with pytest.raises(ValueError):
+            Demand(0, 1, 2, profit=profit)
+
+    @pytest.mark.parametrize("height", [0.0, -0.1, 1.5])
+    def test_rejects_bad_height(self, height):
+        with pytest.raises(ValueError):
+            Demand(0, 1, 2, profit=1.0, height=height)
+
+
+class TestWindowDemand:
+    def test_start_slots(self):
+        w = WindowDemand(0, release=2, deadline=7, processing=3, profit=1.0)
+        assert list(w.start_slots) == [2, 3, 4, 5]
+
+    def test_rigid_window_single_start(self):
+        w = WindowDemand(0, release=4, deadline=6, processing=3, profit=1.0)
+        assert list(w.start_slots) == [4]
+
+    def test_rejects_window_too_small(self):
+        with pytest.raises(ValueError):
+            WindowDemand(0, release=3, deadline=4, processing=3, profit=1.0)
+
+    def test_rejects_zero_processing(self):
+        with pytest.raises(ValueError):
+            WindowDemand(0, release=0, deadline=5, processing=0, profit=1.0)
+
+    def test_rejects_negative_release(self):
+        with pytest.raises(ValueError):
+            WindowDemand(0, release=-1, deadline=5, processing=2, profit=1.0)
+
+    def test_width_classification(self):
+        assert WindowDemand(0, 0, 5, 2, 1.0, height=0.5).is_narrow
+        assert WindowDemand(0, 0, 5, 2, 1.0, height=0.9).is_wide
+
+
+def make_instance(iid, demand_id, network_id, verts, height=1.0, profit=1.0):
+    edges = frozenset(
+        edge_key(network_id, a, b) for a, b in zip(verts, verts[1:])
+    )
+    return DemandInstance(
+        instance_id=iid,
+        demand_id=demand_id,
+        network_id=network_id,
+        u=verts[0],
+        v=verts[-1],
+        profit=profit,
+        height=height,
+        path_vertex_seq=tuple(verts),
+        path_edges=edges,
+    )
+
+
+class TestDemandInstance:
+    def test_length(self):
+        d = make_instance(0, 0, 0, [1, 2, 3, 4])
+        assert d.length == 3
+
+    def test_rejects_trivial_path(self):
+        with pytest.raises(ValueError):
+            make_instance(0, 0, 0, [1])
+
+    def test_rejects_inconsistent_edges(self):
+        with pytest.raises(ValueError):
+            DemandInstance(
+                instance_id=0,
+                demand_id=0,
+                network_id=0,
+                u=0,
+                v=2,
+                profit=1.0,
+                height=1.0,
+                path_vertex_seq=(0, 1, 2),
+                path_edges=frozenset({edge_key(0, 0, 1)}),
+            )
+
+    def test_is_active_on(self):
+        d = make_instance(0, 0, 0, [1, 2, 3])
+        assert d.is_active_on(edge_key(0, 2, 1))
+        assert not d.is_active_on(edge_key(0, 3, 4))
+
+    def test_overlaps_same_network(self):
+        d1 = make_instance(0, 0, 0, [1, 2, 3])
+        d2 = make_instance(1, 1, 0, [2, 3, 4])
+        d3 = make_instance(2, 2, 0, [3, 4, 5])
+        assert d1.overlaps(d2)
+        assert not d1.overlaps(d3)
+
+    def test_no_overlap_across_networks(self):
+        d1 = make_instance(0, 0, 0, [1, 2, 3])
+        d2 = make_instance(1, 1, 1, [1, 2, 3])
+        assert not d1.overlaps(d2)
+
+    def test_conflicts_same_demand(self):
+        d1 = make_instance(0, 7, 0, [1, 2])
+        d2 = make_instance(1, 7, 1, [5, 6])
+        assert d1.conflicts_with(d2)  # same demand, disjoint paths
+
+    def test_conflicts_via_overlap(self):
+        d1 = make_instance(0, 0, 0, [1, 2, 3])
+        d2 = make_instance(1, 1, 0, [2, 3])
+        assert d1.conflicts_with(d2)
+
+    def test_independent_pair(self):
+        d1 = make_instance(0, 0, 0, [1, 2])
+        d2 = make_instance(1, 1, 0, [3, 4])
+        assert not d1.conflicts_with(d2)
+
+    def test_shared_vertex_only_is_not_overlap(self):
+        d1 = make_instance(0, 0, 0, [1, 2])
+        d2 = make_instance(1, 1, 0, [2, 3])
+        assert not d1.overlaps(d2)  # edge-disjoint, meet at vertex 2

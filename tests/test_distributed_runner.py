@@ -1,0 +1,189 @@
+"""Integration tests: message-passing run == logical executor (Section 5,
+"Distributed Implementation")."""
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.core.framework import run_two_phase
+from repro.distributed.runner import (
+    KINDS,
+    build_layout_and_thresholds,
+    run_distributed,
+)
+from repro.distributed.scheduler_node import Schedule, default_schedule
+from repro.workloads import random_line_problem, random_tree_problem
+from repro.workloads.trees import random_forest
+
+
+def small_tree_problem(seed, pmax_over_pmin=4.0, heights="unit"):
+    return random_tree_problem(
+        random_forest(14, 2, seed=seed),
+        m=9,
+        seed=seed + 1,
+        pmax_over_pmin=pmax_over_pmin,
+        height_profile=heights,
+        hmin=0.2,
+    )
+
+
+def assert_matches_logical(problem, kind, epsilon, seed):
+    report = run_distributed(problem, kind=kind, epsilon=epsilon, seed=seed)
+    layout, thresholds, rule = build_layout_and_thresholds(problem, kind, epsilon)
+    logical = run_two_phase(
+        problem.instances, layout, rule, thresholds, mis="hash", seed=seed
+    )
+    assert [d.instance_id for d in report.solution.selected] == [
+        d.instance_id for d in logical.solution.selected
+    ]
+    assert report.dual_value == pytest.approx(logical.dual.value(), abs=1e-9)
+    assert report.certified_upper_bound == pytest.approx(
+        logical.certified_upper_bound, abs=1e-6
+    )
+    return report
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_unit_trees(self, seed):
+        problem = small_tree_problem(seed)
+        assert_matches_logical(problem, "unit-trees", 0.3, seed)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_unit_lines(self, seed):
+        problem = random_line_problem(
+            24, 8, r=2, seed=seed + 7, pmax_over_pmin=4.0, window_slack=2
+        )
+        assert_matches_logical(problem, "unit-lines", 0.3, seed)
+
+    def test_narrow_trees(self):
+        problem = small_tree_problem(11, heights="narrow")
+        assert_matches_logical(problem, "narrow-trees", 0.4, 3)
+
+    def test_narrow_lines(self):
+        problem = random_line_problem(
+            20, 7, r=2, seed=19, pmax_over_pmin=4.0,
+            height_profile="narrow", hmin=0.25, window_slack=2,
+        )
+        assert_matches_logical(problem, "narrow-lines", 0.4, 4)
+
+
+class TestRunReport:
+    def test_solution_feasible_and_certified(self):
+        problem = small_tree_problem(21)
+        report = run_distributed(problem, kind="unit-trees", epsilon=0.3, seed=0)
+        report.solution.verify()
+        opt = solve_exact(problem).profit
+        assert report.certified_upper_bound >= opt - 1e-6
+
+    def test_rounds_match_schedule_script(self):
+        problem = small_tree_problem(22)
+        report = run_distributed(problem, kind="unit-trees", epsilon=0.4, seed=1)
+        script_len = len(report.schedule.build_ops())
+        # +1: one final round in which the last messages are consumed.
+        assert script_len <= report.metrics.rounds <= script_len + 1
+
+    def test_messages_counted(self):
+        problem = small_tree_problem(23)
+        report = run_distributed(problem, kind="unit-trees", epsilon=0.4, seed=2)
+        assert report.metrics.messages > 0
+        assert report.metrics.volume > 0
+
+    def test_unknown_kind(self):
+        problem = small_tree_problem(24)
+        with pytest.raises(ValueError):
+            run_distributed(problem, kind="unit-rings")
+
+    def test_narrow_kind_rejects_wide(self):
+        problem = small_tree_problem(25, heights="bimodal")
+        with pytest.raises(ValueError):
+            run_distributed(problem, kind="narrow-trees")
+
+    def test_isolated_processors_still_work(self):
+        # Two processors on disjoint resources never exchange messages.
+        problem = random_tree_problem(
+            random_forest(10, 2, seed=26), m=2, seed=27, access_size=1
+        )
+        if problem.communication_edges:
+            pytest.skip("random accessibility happened to overlap")
+        report = run_distributed(problem, kind="unit-trees", epsilon=0.4, seed=0)
+        report.solution.verify()
+        assert len(report.solution) == 2  # no interaction, both scheduled
+
+
+class TestArbitraryHeightsDistributed:
+    def test_mixed_heights_on_trees(self):
+        from repro.distributed.runner import run_distributed_arbitrary
+
+        problem = small_tree_problem(31, heights="bimodal")
+        report = run_distributed_arbitrary(problem, networks="trees",
+                                           epsilon=0.4, seed=5)
+        report.solution.verify()
+        assert report.wide is not None and report.narrow is not None
+        assert report.total_rounds == (
+            report.wide.metrics.rounds + report.narrow.metrics.rounds
+        )
+        opt = solve_exact(problem).profit
+        assert report.certified_upper_bound >= opt - 1e-6
+        ids = [d.demand_id for d in report.solution.selected]
+        assert len(ids) == len(set(ids))
+
+    def test_mixed_heights_on_lines(self):
+        from repro.distributed.runner import run_distributed_arbitrary
+
+        problem = random_line_problem(
+            18, 6, r=2, seed=33, pmax_over_pmin=4.0,
+            height_profile="bimodal", hmin=0.25, window_slack=2,
+        )
+        report = run_distributed_arbitrary(problem, networks="lines",
+                                           epsilon=0.4, seed=6)
+        report.solution.verify()
+        assert solve_exact(problem).profit <= report.certified_upper_bound + 1e-6
+
+    def test_all_narrow_path(self):
+        from repro.distributed.runner import run_distributed_arbitrary
+
+        problem = small_tree_problem(35, heights="narrow")
+        report = run_distributed_arbitrary(problem, networks="trees",
+                                           epsilon=0.4, seed=7)
+        assert report.wide is None and report.narrow is not None
+        report.solution.verify()
+
+    def test_all_unit_path(self):
+        from repro.distributed.runner import run_distributed_arbitrary
+
+        problem = small_tree_problem(36)  # unit heights are wide
+        report = run_distributed_arbitrary(problem, networks="trees",
+                                           epsilon=0.4, seed=8)
+        assert report.narrow is None and report.wide is not None
+
+    def test_unknown_networks_kind(self):
+        from repro.distributed.runner import run_distributed_arbitrary
+
+        with pytest.raises(ValueError):
+            run_distributed_arbitrary(small_tree_problem(37), networks="rings")
+
+
+class TestSchedule:
+    def test_build_ops_structure(self):
+        sched = Schedule(
+            thresholds=(0.5, 0.9),
+            n_epochs=2,
+            steps_per_stage=2,
+            luby_iterations=3,
+            seed=0,
+        )
+        ops = sched.build_ops()
+        assert ops[0] == ("hello",)
+        assert ops[-1] == ("finish",)
+        n_steps = 2 * 2 * 2
+        assert sum(1 for op in ops if op[0] == "raise") == n_steps
+        assert sum(1 for op in ops if op[0] == "decide") == n_steps
+        assert sum(1 for op in ops if op[0] == "prio") == n_steps * 3
+        # Decide tuples come in reverse order of raise tuples.
+        raises = [op[1:] for op in ops if op[0] == "raise"]
+        decides = [op[1:] for op in ops if op[0] == "decide"]
+        assert decides == list(reversed(raises))
+
+    def test_default_schedule_bounds(self):
+        sched = default_schedule([0.9], 4, pmax_over_pmin=8.0, n_instances=32, seed=1)
+        assert sched.steps_per_stage == 2 + 3
+        assert sched.luby_iterations == 2 * 5 + 6

@@ -1,0 +1,128 @@
+"""Tests for dual state and the raise rules."""
+import pytest
+
+from repro.core.dual import DualState, HeightRaise, UnitRaise
+from repro.core.types import EPS
+from tests.test_demand import make_instance
+
+
+class TestDualState:
+    def test_initially_zero(self):
+        d = make_instance(0, 0, 0, [0, 1, 2], profit=3.0)
+        dual = DualState()
+        assert dual.lhs(d) == 0.0
+        assert dual.slack(d) == 3.0
+        assert not dual.is_satisfied(d, 0.5)
+
+    def test_lhs_unit(self):
+        d = make_instance(0, 0, 0, [0, 1, 2], profit=3.0)
+        dual = DualState()
+        dual.alpha[0] = 0.5
+        dual.beta[(0, 0, 1)] = 1.0
+        dual.beta[(0, 1, 2)] = 0.25
+        dual.beta[(0, 5, 6)] = 9.0  # off-path, ignored
+        assert dual.lhs(d) == pytest.approx(1.75)
+
+    def test_lhs_height_rule(self):
+        d = make_instance(0, 0, 0, [0, 1, 2], profit=3.0, height=0.25)
+        dual = DualState(use_height_rule=True)
+        dual.alpha[0] = 0.5
+        dual.beta[(0, 0, 1)] = 2.0
+        assert dual.lhs(d) == pytest.approx(0.5 + 0.25 * 2.0)
+
+    def test_tau_satisfaction(self):
+        d = make_instance(0, 0, 0, [0, 1], profit=2.0)
+        dual = DualState()
+        dual.alpha[0] = 1.0
+        assert dual.is_satisfied(d, 0.5)
+        assert not dual.is_satisfied(d, 0.6)
+
+    def test_value(self):
+        dual = DualState()
+        dual.alpha[0] = 1.0
+        dual.beta[(0, 0, 1)] = 2.5
+        assert dual.value() == pytest.approx(3.5)
+
+    def test_scaled_value_validates(self):
+        dual = DualState()
+        with pytest.raises(ValueError):
+            dual.scaled_value(0.0)
+        with pytest.raises(ValueError):
+            dual.scaled_value(1.5)
+
+
+class TestUnitRaise:
+    def test_raise_makes_tight(self):
+        d = make_instance(0, 0, 0, [0, 1, 2, 3], profit=4.0)
+        dual = DualState()
+        rule = UnitRaise()
+        critical = ((0, 0, 1), (0, 2, 3))
+        delta = rule.apply(dual, d, critical)
+        assert delta == pytest.approx(4.0 / 3)
+        assert dual.lhs(d) == pytest.approx(4.0)
+        assert dual.slack(d) == pytest.approx(0.0, abs=1e-12)
+
+    def test_second_raise_is_noop(self):
+        d = make_instance(0, 0, 0, [0, 1], profit=1.0)
+        dual = DualState()
+        rule = UnitRaise()
+        rule.apply(dual, d, ((0, 0, 1),))
+        assert rule.apply(dual, d, ((0, 0, 1),)) == 0.0
+
+    def test_no_alpha_variant(self):
+        d = make_instance(0, 0, 0, [0, 1, 2], profit=2.0)
+        dual = DualState()
+        rule = UnitRaise(use_alpha=False)
+        delta = rule.apply(dual, d, ((0, 0, 1), (0, 1, 2)))
+        assert delta == pytest.approx(1.0)
+        assert 0 not in dual.alpha
+        assert dual.lhs(d) == pytest.approx(2.0)
+
+    def test_no_alpha_requires_critical_edges(self):
+        d = make_instance(0, 0, 0, [0, 1], profit=1.0)
+        rule = UnitRaise(use_alpha=False)
+        with pytest.raises(ValueError):
+            rule.apply(DualState(), d, ())
+
+    def test_objective_increase_factor(self):
+        assert UnitRaise().objective_increase_factor(6) == 7
+        assert UnitRaise(use_alpha=False).objective_increase_factor(2) == 2
+
+    def test_partial_progress_then_tight(self):
+        d = make_instance(0, 0, 0, [0, 1, 2], profit=2.0)
+        dual = DualState()
+        dual.beta[(0, 0, 1)] = 0.5  # someone else contributed
+        rule = UnitRaise()
+        rule.apply(dual, d, ((0, 1, 2),))
+        assert dual.lhs(d) == pytest.approx(2.0)
+
+
+class TestHeightRaise:
+    @pytest.mark.parametrize("height", [0.1, 0.25, 0.5])
+    @pytest.mark.parametrize("n_critical", [1, 3, 6])
+    def test_raise_makes_tight(self, height, n_critical):
+        verts = list(range(n_critical + 2))
+        d = make_instance(0, 0, 0, verts, profit=5.0, height=height)
+        dual = DualState(use_height_rule=True)
+        rule = HeightRaise()
+        critical = tuple(sorted(d.path_edges))[:n_critical]
+        delta = rule.apply(dual, d, critical)
+        assert delta == pytest.approx(5.0 / (1 + 2 * height * n_critical**2))
+        assert dual.lhs(d) == pytest.approx(5.0)
+
+    def test_beta_increment_is_2pi_delta(self):
+        rule = HeightRaise()
+        assert rule.beta_increment(0.5, 3) == pytest.approx(3.0)
+
+    def test_objective_increase_factor(self):
+        # alpha: delta; each of 6 betas: 12*delta -> 73*delta total.
+        assert HeightRaise().objective_increase_factor(6) == pytest.approx(73.0)
+
+    def test_raise_amount_recorded_in_value(self):
+        d = make_instance(0, 0, 0, [0, 1, 2], profit=1.0, height=0.5)
+        dual = DualState(use_height_rule=True)
+        rule = HeightRaise()
+        critical = tuple(sorted(d.path_edges))
+        delta = rule.apply(dual, d, critical)
+        expected = delta * rule.objective_increase_factor(len(critical))
+        assert dual.value() == pytest.approx(expected)

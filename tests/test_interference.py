@@ -1,0 +1,87 @@
+"""Tests for the interference-property checkers themselves."""
+import pytest
+
+from repro.core.dual import DualState, RaiseEvent, UnitRaise
+from repro.core.interference import (
+    InterferenceViolation,
+    check_dual_objective_bound,
+    check_interference,
+    check_predecessor_bound,
+)
+from tests.test_demand import make_instance
+
+
+def event(order, inst, delta, critical, step=(1, 1, 1)):
+    return RaiseEvent(
+        order=order,
+        instance=inst,
+        delta=delta,
+        critical_edges=tuple(critical),
+        step_tuple=step,
+    )
+
+
+class TestCheckInterference:
+    def test_passes_when_critical_edge_shared(self):
+        d1 = make_instance(0, 0, 0, [0, 1, 2, 3])
+        d2 = make_instance(1, 1, 0, [1, 2])
+        events = [
+            event(0, d1, 0.5, [(0, 1, 2)]),
+            event(1, d2, 0.5, [(0, 1, 2)]),
+        ]
+        check_interference(events)
+
+    def test_fails_when_critical_edge_missed(self):
+        d1 = make_instance(0, 0, 0, [0, 1, 2, 3])
+        d2 = make_instance(1, 1, 0, [2, 3])
+        events = [
+            event(0, d1, 0.5, [(0, 0, 1)]),  # critical edge far from d2
+            event(1, d2, 0.5, [(0, 2, 3)]),
+        ]
+        with pytest.raises(InterferenceViolation):
+            check_interference(events)
+
+    def test_non_overlapping_pairs_ignored(self):
+        d1 = make_instance(0, 0, 0, [0, 1])
+        d2 = make_instance(1, 1, 0, [5, 6])
+        check_interference([event(0, d1, 1.0, [(0, 0, 1)]), event(1, d2, 1.0, [(0, 5, 6)])])
+
+    def test_same_demand_non_overlap_is_fine(self):
+        # Same-demand conflicts are handled by alpha, not critical edges.
+        d1 = make_instance(0, 7, 0, [0, 1])
+        d2 = make_instance(1, 7, 1, [0, 1])
+        check_interference([event(0, d1, 1.0, [(0, 0, 1)]), event(1, d2, 1.0, [(1, 0, 1)])])
+
+
+class TestPredecessorBound:
+    def test_passes_within_profit(self):
+        d1 = make_instance(0, 0, 0, [0, 1, 2], profit=1.0)
+        d2 = make_instance(1, 1, 0, [1, 2], profit=2.0)
+        events = [event(0, d1, 0.5, [(0, 1, 2)]), event(1, d2, 1.5, [(0, 1, 2)])]
+        check_predecessor_bound(events)
+
+    def test_fails_when_deltas_exceed_profit(self):
+        d1 = make_instance(0, 0, 0, [0, 1, 2], profit=1.0)
+        d2 = make_instance(1, 1, 0, [1, 2], profit=1.0)
+        events = [event(0, d1, 0.9, [(0, 1, 2)]), event(1, d2, 0.9, [(0, 1, 2)])]
+        with pytest.raises(InterferenceViolation):
+            check_predecessor_bound(events)
+
+
+class TestDualObjectiveBound:
+    def test_passes_for_consistent_raises(self):
+        d1 = make_instance(0, 0, 0, [0, 1, 2], profit=3.0)
+        dual = DualState()
+        rule = UnitRaise()
+        critical = tuple(sorted(d1.path_edges))
+        delta = rule.apply(dual, d1, critical)
+        check_dual_objective_bound(dual, [event(0, d1, delta, critical)], rule)
+
+    def test_fails_for_inflated_dual(self):
+        d1 = make_instance(0, 0, 0, [0, 1], profit=1.0)
+        dual = DualState()
+        dual.alpha[0] = 100.0
+        with pytest.raises(InterferenceViolation):
+            check_dual_objective_bound(
+                dual, [event(0, d1, 0.5, [(0, 0, 1)])], UnitRaise()
+            )

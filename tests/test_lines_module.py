@@ -1,0 +1,59 @@
+"""Tests for the line-network helpers (slot/edge conversions)."""
+import pytest
+
+from repro.core.demand import WindowDemand
+from repro.core.problem import Problem
+from repro.lines.line import (
+    edge_to_slot,
+    instance_mid_slot,
+    instance_slots,
+    slot_to_edge,
+)
+from repro.trees.tree import make_line_network
+
+
+class TestSlotEdgeConversion:
+    def test_roundtrip(self):
+        for slot in (0, 1, 17):
+            assert edge_to_slot(slot_to_edge(3, slot)) == slot
+
+    def test_slot_to_edge_network_id(self):
+        assert slot_to_edge(5, 2) == (5, 2, 3)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            slot_to_edge(0, -1)
+
+    def test_non_line_edge_rejected(self):
+        with pytest.raises(ValueError):
+            edge_to_slot((0, 2, 7))
+
+
+class TestInstanceSlots:
+    def _instance(self, release, processing, n_slots=20):
+        problem = Problem(
+            networks={0: make_line_network(0, n_slots)},
+            demands=[
+                WindowDemand(0, release=release, deadline=release + processing - 1,
+                             processing=processing, profit=1.0)
+            ],
+        )
+        (d,) = problem.instances
+        return d
+
+    def test_slots_inclusive(self):
+        d = self._instance(release=4, processing=3)
+        assert instance_slots(d) == (4, 6)
+
+    def test_single_slot(self):
+        d = self._instance(release=9, processing=1)
+        assert instance_slots(d) == (9, 9)
+        assert instance_mid_slot(d) == 9
+
+    def test_mid_slot_floor(self):
+        d = self._instance(release=2, processing=4)  # slots 2..5
+        assert instance_mid_slot(d) == 3
+
+    def test_mid_slot_odd_length(self):
+        d = self._instance(release=2, processing=5)  # slots 2..6
+        assert instance_mid_slot(d) == 4

@@ -1,0 +1,76 @@
+"""Tests for the LP machinery (Sections 3.1, 6.1)."""
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.core.dual import DualState
+from repro.core.lp import check_scaled_dual_feasible, lp_upper_bound
+from repro.workloads import (
+    figure1_problem,
+    figure2_problem,
+    random_line_problem,
+    random_tree_problem,
+)
+from repro.workloads.trees import random_forest
+
+
+class TestLPUpperBound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounds_exact_optimum_trees(self, seed):
+        problem = random_tree_problem(
+            random_forest(18, 2, seed=seed), m=10, seed=seed + 20
+        )
+        lp = lp_upper_bound(problem)
+        opt = solve_exact(problem).profit
+        assert lp >= opt - 1e-6
+        assert lp <= sum(a.profit for a in problem.demands) + 1e-6
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bounds_exact_optimum_lines(self, seed):
+        problem = random_line_problem(25, 9, r=2, seed=seed)
+        lp = lp_upper_bound(problem)
+        opt = solve_exact(problem).profit
+        assert lp >= opt - 1e-6
+
+    def test_heights_reflected(self):
+        # Fractional LP can pack by height; with heights 0.5 both demands
+        # on one edge fit integrally too.
+        problem = figure2_problem()  # heights 0.4 / 0.7 / 0.3
+        lp = lp_upper_bound(problem)
+        assert lp >= 2.0 - 1e-9  # demands 0 and 2 coexist
+
+    def test_figure1_lp(self):
+        lp = lp_upper_bound(figure1_problem())
+        assert lp >= 2.0 - 1e-9
+        assert lp <= 3.0 + 1e-9
+
+    def test_lp_can_beat_integral(self):
+        # Three pairwise-overlapping unit demands on one edge: integral
+        # optimum is 1, fractional is 1 as well (each x <= 1 on the same
+        # edge) -- but two demands sharing only the middle edge give LP
+        # 1.0 vs selecting one of them.  Use a triangle-free check:
+        problem = figure2_problem(unit_height=True)
+        lp = lp_upper_bound(problem)
+        assert lp >= solve_exact(problem).profit - 1e-9
+
+
+class TestDualFeasibility:
+    def test_accepts_satisfied_assignment(self):
+        problem = figure2_problem(unit_height=True)
+        dual = DualState()
+        for a in problem.demands:
+            dual.alpha[a.demand_id] = a.profit
+        check_scaled_dual_feasible(dual, problem.instances, 1.0)
+
+    def test_rejects_unsatisfied_assignment(self):
+        problem = figure2_problem(unit_height=True)
+        dual = DualState()
+        with pytest.raises(AssertionError):
+            check_scaled_dual_feasible(dual, problem.instances, 0.5)
+
+    def test_height_rule_dual(self):
+        problem = figure2_problem()
+        dual = DualState(use_height_rule=True)
+        # beta on the shared edge <4,5> large enough for every demand:
+        # the smallest height is 0.3, largest profit 1.0.
+        dual.beta[(0, 4, 5)] = 1.0 / 0.3 + 1.0
+        check_scaled_dual_feasible(dual, problem.instances, 1.0)

@@ -1,0 +1,66 @@
+"""Tests for the analysis helpers."""
+import math
+
+import pytest
+
+from repro.algorithms.unit_trees import solve_unit_trees
+from repro.analysis.metrics import RatioReport, measure, theoretical_round_bound
+from repro.analysis.tables import format_cell, format_table
+from repro.workloads import random_tree_problem
+from repro.workloads.trees import random_forest
+
+
+class TestMeasure:
+    def test_with_exact(self):
+        problem = random_tree_problem(random_forest(16, 2, seed=1), m=9, seed=2)
+        report = solve_unit_trees(problem, epsilon=0.2, seed=0)
+        ratios = measure(problem, report)
+        assert ratios.exact_opt is not None
+        assert ratios.ratio_vs_exact >= 1.0 - 1e-9
+        assert ratios.lp_bound >= ratios.exact_opt - 1e-6
+        assert ratios.certified_ratio >= ratios.ratio_vs_exact - 1e-6
+        assert ratios.ratio_vs_lp >= ratios.ratio_vs_exact - 1e-6
+
+    def test_without_exact(self):
+        problem = random_tree_problem(random_forest(16, 2, seed=3), m=25, seed=4)
+        report = solve_unit_trees(problem, epsilon=0.2, seed=0)
+        ratios = measure(problem, report, exact_cap=10)
+        assert ratios.exact_opt is None
+        assert ratios.ratio_vs_exact is None
+        assert ratios.ratio_vs_lp >= 1.0 - 1e-6
+
+    def test_zero_profit_edge_case(self):
+        r = RatioReport(
+            profit=0.0, exact_opt=1.0, lp_bound=1.0, certified_bound=1.0, guarantee=7.0
+        )
+        assert r.ratio_vs_exact == math.inf
+        assert r.ratio_vs_lp == math.inf
+        assert r.certified_ratio == math.inf
+
+
+class TestRoundBound:
+    def test_monotone_in_n(self):
+        small = theoretical_round_bound(8, 0.1, 10, time_mis=10)
+        large = theoretical_round_bound(1024, 0.1, 10, time_mis=10)
+        assert large > small
+
+    def test_floors_at_one(self):
+        assert theoretical_round_bound(1, 0.9, 1.0, time_mis=1) == 1.0
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(1.23456789) == "1.235"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell("x") == "x"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out

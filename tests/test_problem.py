@@ -1,0 +1,199 @@
+"""Tests for the Problem model and instance expansion."""
+import pytest
+
+from repro.core.demand import Demand, WindowDemand
+from repro.core.problem import Problem, ProblemError
+from repro.trees.tree import TreeNetwork, make_line_network
+from repro.workloads.trees import random_forest
+
+
+@pytest.fixture
+def two_trees():
+    t0 = TreeNetwork(0, [(0, 1), (1, 2), (2, 3)])
+    t1 = TreeNetwork(1, [(0, 2), (2, 1), (1, 3)])
+    return {0: t0, 1: t1}
+
+
+class TestValidation:
+    def test_requires_networks(self):
+        with pytest.raises(ProblemError):
+            Problem(networks={}, demands=[Demand(0, 0, 1, 1.0)])
+
+    def test_requires_demands(self, two_trees):
+        with pytest.raises(ProblemError):
+            Problem(networks=two_trees, demands=[])
+
+    def test_unique_demand_ids(self, two_trees):
+        with pytest.raises(ProblemError):
+            Problem(
+                networks=two_trees,
+                demands=[Demand(0, 0, 1, 1.0), Demand(0, 1, 2, 1.0)],
+            )
+
+    def test_network_key_mismatch(self):
+        with pytest.raises(ProblemError):
+            Problem(
+                networks={5: TreeNetwork(0, [(0, 1)])},
+                demands=[Demand(0, 0, 1, 1.0)],
+            )
+
+    def test_unknown_access_network(self, two_trees):
+        with pytest.raises(ProblemError):
+            Problem(
+                networks=two_trees,
+                demands=[Demand(0, 0, 1, 1.0)],
+                access={0: (9,)},
+            )
+
+    def test_empty_access(self, two_trees):
+        with pytest.raises(ProblemError):
+            Problem(
+                networks=two_trees,
+                demands=[Demand(0, 0, 1, 1.0)],
+                access={0: ()},
+            )
+
+    def test_missing_endpoint_raises_at_expansion(self, two_trees):
+        p = Problem(networks=two_trees, demands=[Demand(0, 0, 9, 1.0)])
+        with pytest.raises(ProblemError):
+            _ = p.instances
+
+
+class TestExpansion:
+    def test_default_access_is_everything(self, two_trees):
+        p = Problem(networks=two_trees, demands=[Demand(0, 0, 3, 1.0)])
+        assert p.access[0] == (0, 1)
+        assert len(p.instances) == 2
+
+    def test_point_to_point_paths_differ_by_network(self, two_trees):
+        p = Problem(networks=two_trees, demands=[Demand(0, 0, 3, 1.0)])
+        d0, d1 = p.instances
+        assert d0.network_id == 0 and d1.network_id == 1
+        assert d0.path_vertex_seq == (0, 1, 2, 3)
+        assert d1.path_vertex_seq == (0, 2, 1, 3)
+
+    def test_window_expansion_counts(self):
+        line = make_line_network(0, 10)
+        w = WindowDemand(0, release=2, deadline=7, processing=3, profit=1.0)
+        p = Problem(networks={0: line}, demands=[w])
+        # start slots 2..5 -> four instances
+        assert len(p.instances) == 4
+        assert [d.u for d in p.instances] == [2, 3, 4, 5]
+        assert all(d.length == 3 for d in p.instances)
+
+    def test_window_requires_line(self, two_trees):
+        tree = TreeNetwork(0, [(0, 1), (0, 2), (0, 3)])
+        w = WindowDemand(0, release=0, deadline=2, processing=1, profit=1.0)
+        p = Problem(networks={0: tree}, demands=[w])
+        with pytest.raises(ProblemError):
+            _ = p.instances
+
+    def test_window_clipped_by_timeline(self):
+        line = make_line_network(0, 5)
+        w = WindowDemand(0, release=3, deadline=4, processing=2, profit=1.0)
+        p = Problem(networks={0: line}, demands=[w])
+        assert len(p.instances) == 1  # only start 3 fits on 5 slots
+
+    def test_instances_by_network(self, two_trees):
+        p = Problem(
+            networks=two_trees,
+            demands=[Demand(0, 0, 3, 1.0), Demand(1, 1, 2, 1.0)],
+            access={0: (0,), 1: (0, 1)},
+        )
+        assert len(p.instances_by_network[0]) == 2
+        assert len(p.instances_by_network[1]) == 1
+
+    def test_instance_ids_unique_and_ordered(self, two_trees):
+        p = Problem(
+            networks=two_trees,
+            demands=[Demand(i, 0, 3, 1.0) for i in range(4)],
+        )
+        ids = [d.instance_id for d in p.instances]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+
+class TestDerived:
+    def test_profit_extremes(self, two_trees):
+        p = Problem(
+            networks=two_trees,
+            demands=[Demand(0, 0, 1, 4.0), Demand(1, 1, 2, 0.5)],
+        )
+        assert p.pmax == 4.0 and p.pmin == 0.5
+
+    def test_hmin_and_unit(self, two_trees):
+        p = Problem(
+            networks=two_trees,
+            demands=[Demand(0, 0, 1, 1.0, height=0.3), Demand(1, 1, 2, 1.0)],
+        )
+        assert p.hmin == 0.3
+        assert not p.is_unit_height
+
+    def test_all_edges(self, two_trees):
+        p = Problem(networks=two_trees, demands=[Demand(0, 0, 1, 1.0)])
+        assert len(p.all_edges) == 6
+
+    def test_demand_by_id(self, two_trees):
+        p = Problem(networks=two_trees, demands=[Demand(7, 0, 1, 1.0)])
+        assert p.demand_by_id(7).u == 0
+
+
+class TestCommunication:
+    def test_shared_resource_means_edge(self, two_trees):
+        p = Problem(
+            networks=two_trees,
+            demands=[Demand(0, 0, 1, 1.0), Demand(1, 1, 2, 1.0), Demand(2, 2, 3, 1.0)],
+            access={0: (0,), 1: (0, 1), 2: (1,)},
+        )
+        assert p.communication_edges == ((0, 1), (1, 2))
+
+    def test_disconnected_processors(self, two_trees):
+        p = Problem(
+            networks=two_trees,
+            demands=[Demand(0, 0, 1, 1.0), Demand(1, 1, 2, 1.0)],
+            access={0: (0,), 1: (1,)},
+        )
+        assert p.communication_edges == ()
+
+    def test_complete_when_shared(self, two_trees):
+        p = Problem(
+            networks=two_trees,
+            demands=[Demand(i, 0, 1, 1.0) for i in range(4)],
+        )
+        assert len(p.communication_edges) == 6
+
+
+class TestSplitByWidth:
+    def test_split(self, two_trees):
+        p = Problem(
+            networks=two_trees,
+            demands=[
+                Demand(0, 0, 1, 1.0, height=0.9),
+                Demand(1, 1, 2, 1.0, height=0.2),
+            ],
+        )
+        wide, narrow = p.split_by_width()
+        assert [a.demand_id for a in wide.demands] == [0]
+        assert [a.demand_id for a in narrow.demands] == [1]
+
+    def test_split_requires_both(self, two_trees):
+        p = Problem(networks=two_trees, demands=[Demand(0, 0, 1, 1.0, height=0.9)])
+        assert p.has_wide and not p.has_narrow
+        with pytest.raises(ProblemError):
+            p.split_by_width()
+
+    def test_restricted_to(self, two_trees):
+        demands = [Demand(i, 0, 1, 1.0) for i in range(3)]
+        p = Problem(networks=two_trees, demands=demands)
+        sub = p.restricted_to(demands[:2])
+        assert len(sub.demands) == 2
+        assert sub.access[0] == p.access[0]
+
+
+class TestForestGenerator:
+    def test_forest_networks_share_vertices(self):
+        forest = random_forest(12, 3, seed=0)
+        assert set(forest) == {0, 1, 2}
+        for nid, net in forest.items():
+            assert net.network_id == nid
+            assert net.n_vertices == 12

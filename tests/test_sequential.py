@@ -1,0 +1,97 @@
+"""Tests for the Appendix A sequential algorithm."""
+import pytest
+
+from repro.algorithms.sequential import solve_sequential
+from repro.baselines.exact import solve_exact
+from repro.baselines.tree_dp import solve_tree_dp
+from repro.core.interference import check_interference, check_predecessor_bound
+from repro.core.lp import check_scaled_dual_feasible
+from repro.workloads import figure2_problem, random_tree_problem
+from repro.workloads.trees import random_forest, random_tree
+
+
+class TestBasics:
+    def test_rejects_heights(self):
+        problem = figure2_problem()  # heights < 1
+        with pytest.raises(ValueError):
+            solve_sequential(problem)
+
+    def test_figure2_unit(self):
+        problem = figure2_problem(unit_height=True)
+        report = solve_sequential(problem)
+        assert report.profit == 1.0
+
+    def test_delta_at_most_two(self):
+        problem = random_tree_problem(random_forest(25, 2, seed=1), m=15, seed=2)
+        report = solve_sequential(problem)
+        assert report.result.raised_delta <= 2
+
+    def test_lambda_is_one(self):
+        problem = random_tree_problem(random_forest(20, 2, seed=3), m=10, seed=4)
+        report = solve_sequential(problem)
+        assert report.result.slackness == 1.0
+        check_scaled_dual_feasible(report.result.dual, problem.instances, 1.0)
+
+    def test_one_raise_per_step(self):
+        problem = random_tree_problem(random_forest(20, 2, seed=5), m=10, seed=6)
+        report = solve_sequential(problem)
+        for batch in report.result.stack:
+            assert len(batch) == 1
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_three_approx_multi_tree(self, seed):
+        problem = random_tree_problem(
+            random_forest(20, 3, seed=seed), m=12, seed=seed + 11
+        )
+        report = solve_sequential(problem)
+        report.solution.verify()
+        assert report.guarantee == 3.0
+        opt = solve_exact(problem).profit
+        assert opt <= 3.0 * report.profit + 1e-6
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_two_approx_single_tree(self, seed):
+        problem = random_tree_problem(
+            {0: random_tree(25, seed=seed)}, m=14, seed=seed + 21
+        )
+        report = solve_sequential(problem)
+        report.solution.verify()
+        assert report.guarantee == 2.0
+        assert report.name == "sequential-single-tree"
+        opt = solve_tree_dp(problem)
+        assert opt <= 2.0 * report.profit + 1e-6
+
+    def test_alpha_forced_on_single_tree(self):
+        problem = random_tree_problem({0: random_tree(15, seed=7)}, m=8, seed=8)
+        report = solve_sequential(problem, use_alpha=True)
+        assert report.guarantee == 3.0
+
+    def test_certificate(self):
+        problem = random_tree_problem(random_forest(18, 2, seed=9), m=10, seed=10)
+        report = solve_sequential(problem)
+        opt = solve_exact(problem).profit
+        assert report.certified_upper_bound >= opt - 1e-6
+
+
+class TestObservationA1:
+    """Raise order satisfies the interference property with wing edges."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_interference(self, seed):
+        problem = random_tree_problem(
+            random_forest(22, 2, seed=seed + 30), m=14, seed=seed + 31
+        )
+        report = solve_sequential(problem)
+        check_interference(report.result.events)
+        check_predecessor_bound(report.result.events)
+
+    def test_descending_capture_depth_within_network(self):
+        problem = random_tree_problem({0: random_tree(25, seed=41)}, m=12, seed=42)
+        report = solve_sequential(problem)
+        from repro.trees.root_fixing import build_root_fixing
+
+        td = build_root_fixing(problem.networks[0])
+        depths = [td.depth[td.capture_node(ev.instance)] for ev in report.result.events]
+        assert depths == sorted(depths, reverse=True)

@@ -1,0 +1,122 @@
+"""Tests for the synchronous message-passing simulator."""
+import pytest
+
+from repro.distributed.message import Message, payload_size
+from repro.distributed.simulator import Node, SyncSimulator, TopologyViolation
+
+
+class EchoNode(Node):
+    """Sends one ping to each neighbor at round 0, echoes pongs back."""
+
+    def __init__(self, node_id, neighbors):
+        super().__init__(node_id)
+        self.neighbors = neighbors
+        self.received = []
+        self._done = False
+
+    def on_round(self, round_no, inbox):
+        self.received.extend(inbox)
+        if round_no == 0:
+            return [Message(self.node_id, nb, "ping") for nb in self.neighbors]
+        out = []
+        for msg in inbox:
+            if msg.kind == "ping":
+                out.append(Message(self.node_id, msg.src, "pong"))
+        if round_no >= 2:
+            self._done = True
+        return out
+
+    @property
+    def halted(self):
+        return self._done
+
+
+class RogueNode(Node):
+    def __init__(self, node_id, target, forge_src=False):
+        super().__init__(node_id)
+        self.target = target
+        self.forge_src = forge_src
+
+    def on_round(self, round_no, inbox):
+        src = self.node_id + 99 if self.forge_src else self.node_id
+        return [Message(src, self.target, "attack")]
+
+
+class IdleNode(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self._halted = False
+
+    def on_round(self, round_no, inbox):
+        self._halted = True
+        return []
+
+    @property
+    def halted(self):
+        return self._halted
+
+
+class TestSimulator:
+    def test_ping_pong_delivery(self):
+        nodes = {0: EchoNode(0, [1]), 1: EchoNode(1, [0])}
+        sim = SyncSimulator(nodes, [(0, 1)])
+        metrics = sim.run(max_rounds=10)
+        kinds0 = [m.kind for m in nodes[0].received]
+        assert "ping" in kinds0 and "pong" in kinds0
+        assert metrics.messages == 4  # 2 pings + 2 pongs
+        assert metrics.rounds >= 3
+
+    def test_one_round_latency(self):
+        nodes = {0: EchoNode(0, [1]), 1: EchoNode(1, [0])}
+        sim = SyncSimulator(nodes, [(0, 1)])
+        sim.run(max_rounds=10)
+        # Round 0 sends; nothing can have been received in round 0.
+        assert all(m.kind == "ping" for m in nodes[0].received[:1])
+
+    def test_topology_enforced(self):
+        nodes = {0: RogueNode(0, target=2), 1: IdleNode(1), 2: IdleNode(2)}
+        sim = SyncSimulator(nodes, [(0, 1)])
+        with pytest.raises(TopologyViolation):
+            sim.run(max_rounds=3)
+
+    def test_src_forgery_rejected(self):
+        nodes = {0: RogueNode(0, target=1, forge_src=True), 1: IdleNode(1)}
+        sim = SyncSimulator(nodes, [(0, 1)])
+        with pytest.raises(TopologyViolation):
+            sim.run(max_rounds=3)
+
+    def test_unknown_link_endpoint(self):
+        with pytest.raises(KeyError):
+            SyncSimulator({0: IdleNode(0)}, [(0, 7)])
+
+    def test_halts_when_all_idle(self):
+        nodes = {0: IdleNode(0), 1: IdleNode(1)}
+        sim = SyncSimulator(nodes, [(0, 1)])
+        metrics = sim.run(max_rounds=100)
+        assert metrics.rounds == 1
+
+    def test_round_budget_enforced(self):
+        class Chatter(Node):
+            def on_round(self, round_no, inbox):
+                return [Message(self.node_id, 1 - self.node_id, "hi")]
+
+        nodes = {0: Chatter(0), 1: Chatter(1)}
+        sim = SyncSimulator(nodes, [(0, 1)])
+        with pytest.raises(RuntimeError):
+            sim.run(max_rounds=5)
+
+    def test_neighbors_accessor(self):
+        nodes = {0: IdleNode(0), 1: IdleNode(1), 2: IdleNode(2)}
+        sim = SyncSimulator(nodes, [(0, 1), (1, 2)])
+        assert sim.neighbors(1) == frozenset({0, 2})
+
+
+class TestPayloadSize:
+    def test_scalars(self):
+        assert payload_size(None) == 0
+        assert payload_size(3) == 1
+        assert payload_size("abc") == 1
+
+    def test_nested(self):
+        assert payload_size(((1, 2), (3, 4))) == 4
+        assert payload_size({"a": 1, "b": (2, 3)}) == 5

@@ -1,0 +1,138 @@
+"""Tests for solutions and the capacity ledger."""
+import pytest
+
+from repro.core.solution import (
+    CapacityLedger,
+    InfeasibleSolutionError,
+    Solution,
+    combine_per_network,
+)
+from tests.test_demand import make_instance
+
+
+class TestCapacityLedger:
+    def test_fits_and_add(self):
+        ledger = CapacityLedger()
+        d = make_instance(0, 0, 0, [0, 1, 2], height=0.6)
+        assert ledger.fits(d)
+        ledger.add(d)
+        assert ledger.load((0, 0, 1)) == pytest.approx(0.6)
+
+    def test_rejects_same_demand_twice(self):
+        ledger = CapacityLedger()
+        ledger.add(make_instance(0, 0, 0, [0, 1]))
+        assert not ledger.fits(make_instance(1, 0, 0, [5, 6]))
+
+    def test_rejects_capacity_violation(self):
+        ledger = CapacityLedger()
+        ledger.add(make_instance(0, 0, 0, [0, 1, 2], height=0.6))
+        assert not ledger.fits(make_instance(1, 1, 0, [1, 2, 3], height=0.5))
+        assert ledger.fits(make_instance(2, 2, 0, [1, 2, 3], height=0.4))
+
+    def test_unit_heights_mean_edge_disjoint(self):
+        ledger = CapacityLedger()
+        ledger.add(make_instance(0, 0, 0, [0, 1, 2]))
+        assert not ledger.fits(make_instance(1, 1, 0, [1, 2]))
+        assert ledger.fits(make_instance(2, 2, 0, [2, 3]))
+
+    def test_add_raises_when_unfit(self):
+        ledger = CapacityLedger()
+        ledger.add(make_instance(0, 0, 0, [0, 1]))
+        with pytest.raises(InfeasibleSolutionError):
+            ledger.add(make_instance(1, 1, 0, [0, 1]))
+
+    def test_remove_undoes(self):
+        ledger = CapacityLedger()
+        d = make_instance(0, 0, 0, [0, 1], height=1.0)
+        ledger.add(d)
+        ledger.remove(d)
+        assert ledger.fits(d)
+        assert ledger.load((0, 0, 1)) == 0.0
+        assert not ledger.demand_used(0)
+
+    def test_remove_unknown_raises(self):
+        ledger = CapacityLedger()
+        with pytest.raises(KeyError):
+            ledger.remove(make_instance(0, 0, 0, [0, 1]))
+
+    def test_networks_do_not_interact(self):
+        ledger = CapacityLedger()
+        ledger.add(make_instance(0, 0, 0, [0, 1]))
+        assert ledger.fits(make_instance(1, 1, 1, [0, 1]))
+
+
+class TestSolution:
+    def test_profit(self):
+        s = Solution.from_instances(
+            [
+                make_instance(0, 0, 0, [0, 1], profit=2.0),
+                make_instance(1, 1, 0, [2, 3], profit=3.0),
+            ]
+        )
+        assert s.profit == 5.0
+        assert len(s) == 2
+        assert s.demand_ids == (0, 1)
+
+    def test_verify_passes(self):
+        s = Solution.from_instances([make_instance(0, 0, 0, [0, 1])])
+        s.verify()
+        assert s.is_feasible()
+
+    def test_verify_catches_overlap(self):
+        s = Solution.from_instances(
+            [
+                make_instance(0, 0, 0, [0, 1, 2]),
+                make_instance(1, 1, 0, [1, 2, 3]),
+            ]
+        )
+        assert not s.is_feasible()
+
+    def test_verify_catches_duplicate_demand(self):
+        s = Solution.from_instances(
+            [
+                make_instance(0, 5, 0, [0, 1]),
+                make_instance(1, 5, 0, [3, 4]),
+            ]
+        )
+        with pytest.raises(InfeasibleSolutionError):
+            s.verify()
+
+    def test_restricted_to_network(self):
+        s = Solution.from_instances(
+            [
+                make_instance(0, 0, 0, [0, 1], profit=1.0),
+                make_instance(1, 1, 1, [0, 1], profit=2.0),
+            ]
+        )
+        assert s.restricted_to_network(1).profit == 2.0
+
+    def test_deterministic_ordering(self):
+        a = make_instance(4, 0, 0, [0, 1])
+        b = make_instance(2, 1, 0, [2, 3])
+        s = Solution.from_instances([a, b])
+        assert [d.instance_id for d in s.selected] == [2, 4]
+
+
+class TestCombinePerNetwork:
+    def test_keeps_richer_side_per_network(self):
+        first = Solution.from_instances(
+            [
+                make_instance(0, 0, 0, [0, 1], profit=5.0),
+                make_instance(1, 1, 1, [0, 1], profit=1.0),
+            ]
+        )
+        second = Solution.from_instances(
+            [
+                make_instance(2, 2, 0, [0, 1], profit=2.0),
+                make_instance(3, 3, 1, [0, 1], profit=4.0),
+            ]
+        )
+        combined = combine_per_network(first, second, [0, 1])
+        assert combined.profit == 9.0
+        assert combined.demand_ids == (0, 3)
+
+    def test_empty_network_sides(self):
+        first = Solution.from_instances([make_instance(0, 0, 0, [0, 1], profit=1.0)])
+        second = Solution.from_instances([])
+        combined = combine_per_network(first, second, [0, 1])
+        assert combined.profit == 1.0

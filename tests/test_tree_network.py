@@ -1,0 +1,246 @@
+"""Tests for the TreeNetwork substrate."""
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.tree import NotATreeError, TreeNetwork, make_line_network
+from repro.workloads.trees import random_tree, random_tree_edges
+
+
+@pytest.fixture
+def small_tree():
+    #       0
+    #      / \
+    #     1   2
+    #    / \    \
+    #   3   4    5
+    return TreeNetwork(0, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)])
+
+
+class TestConstruction:
+    def test_counts(self, small_tree):
+        assert small_tree.n_vertices == 6
+        assert len(small_tree.edges()) == 5
+
+    def test_single_vertex_network(self):
+        net = TreeNetwork(0, [], vertices=[7])
+        assert net.n_vertices == 1
+        assert net.edges() == []
+
+    def test_rejects_cycle(self):
+        with pytest.raises(NotATreeError):
+            TreeNetwork(0, [(0, 1), (1, 2), (2, 0)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(NotATreeError):
+            TreeNetwork(0, [(0, 1), (2, 3), (3, 4), (4, 2)])
+
+    def test_rejects_disconnected_forest(self):
+        # Right edge count but two components is impossible for a tree
+        # over the induced vertex set; add an isolated declared vertex.
+        with pytest.raises(NotATreeError):
+            TreeNetwork(0, [(0, 1)], vertices=[0, 1, 2])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(NotATreeError):
+            TreeNetwork(0, [(1, 1)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(NotATreeError):
+            TreeNetwork(0, [])
+
+    def test_rejects_parallel_edges(self):
+        with pytest.raises(NotATreeError):
+            TreeNetwork(0, [(0, 1), (1, 0)])
+
+
+class TestAccessors:
+    def test_neighbors(self, small_tree):
+        assert sorted(small_tree.neighbors(1)) == [0, 3, 4]
+
+    def test_degree(self, small_tree):
+        assert small_tree.degree(0) == 2
+        assert small_tree.degree(5) == 1
+
+    def test_has_edge(self, small_tree):
+        assert small_tree.has_edge(0, 1)
+        assert small_tree.has_edge(1, 0)
+        assert not small_tree.has_edge(0, 5)
+
+    def test_edge_lookup(self, small_tree):
+        assert small_tree.edge(1, 0) == (0, 0, 1)
+        with pytest.raises(KeyError):
+            small_tree.edge(0, 5)
+
+    def test_is_path_graph(self, small_tree):
+        assert not small_tree.is_path_graph()
+        assert make_line_network(0, 5).is_path_graph()
+
+    def test_rooted_accessors(self, small_tree):
+        assert small_tree.root == 0
+        assert small_tree.parent_of(0) is None
+        assert small_tree.parent_of(3) == 1
+        assert small_tree.depth_of(0) == 0
+        assert small_tree.depth_of(5) == 2
+        assert sorted(small_tree.children_of(1)) == [3, 4]
+
+
+class TestPaths:
+    def test_path_vertices(self, small_tree):
+        assert small_tree.path_vertices(3, 5) == (3, 1, 0, 2, 5)
+
+    def test_path_single_edge(self, small_tree):
+        assert small_tree.path_vertices(0, 1) == (0, 1)
+
+    def test_path_same_subtree(self, small_tree):
+        assert small_tree.path_vertices(3, 4) == (3, 1, 4)
+
+    def test_path_edges_in_order(self, small_tree):
+        assert small_tree.path_edges(3, 5) == (
+            (0, 1, 3),
+            (0, 0, 1),
+            (0, 0, 2),
+            (0, 2, 5),
+        )
+
+    def test_path_to_self(self, small_tree):
+        assert small_tree.path_vertices(2, 2) == (2,)
+        assert small_tree.path_edges(2, 2) == ()
+
+    def test_unknown_vertex_raises(self, small_tree):
+        with pytest.raises(KeyError):
+            small_tree.path_vertices(0, 99)
+
+    def test_lca(self, small_tree):
+        assert small_tree.lca(3, 4) == 1
+        assert small_tree.lca(3, 5) == 0
+        assert small_tree.lca(1, 3) == 1
+
+    def test_distance(self, small_tree):
+        assert small_tree.distance(3, 5) == 4
+        assert small_tree.distance(0, 0) == 0
+
+
+class TestComponents:
+    def test_is_component(self, small_tree):
+        assert small_tree.is_component({0, 1, 3})
+        assert not small_tree.is_component({3, 4})  # disconnected without 1
+        assert not small_tree.is_component(set())
+        assert not small_tree.is_component({0, 99})
+
+    def test_component_neighborhood(self, small_tree):
+        assert small_tree.component_neighborhood({1, 3, 4}) == frozenset({0})
+        assert small_tree.component_neighborhood({0}) == frozenset({1, 2})
+        assert small_tree.component_neighborhood(set(small_tree.vertices)) == frozenset()
+
+    def test_split_component(self, small_tree):
+        pieces = small_tree.split_component(set(small_tree.vertices), 0)
+        assert sorted(sorted(p) for p in pieces) == [[1, 3, 4], [2, 5]]
+
+    def test_split_component_leaf(self, small_tree):
+        pieces = small_tree.split_component({1, 3, 4}, 3)
+        assert sorted(sorted(p) for p in pieces) == [[1, 4]]
+
+    def test_split_requires_membership(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.split_component({1, 3}, 0)
+
+
+class TestBalancer:
+    def test_balancer_of_path(self):
+        line = make_line_network(0, 6)  # vertices 0..6
+        z = line.balancer(set(line.vertices))
+        pieces = line.split_component(set(line.vertices), z)
+        assert all(len(p) <= 7 // 2 for p in pieces)
+
+    def test_balancer_of_star(self):
+        star = TreeNetwork(0, [(0, i) for i in range(1, 8)])
+        assert star.balancer(set(star.vertices)) == 0
+
+    def test_balancer_singleton(self, small_tree):
+        assert small_tree.balancer({4}) == 4
+
+    def test_balancer_rejects_disconnected(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.balancer({3, 4})
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("shape", ["uniform", "caterpillar", "binary"])
+    def test_balancer_bound_random(self, seed, shape):
+        net = random_tree(33, seed=seed, shape=shape)
+        comp = set(net.vertices)
+        z = net.balancer(comp)
+        for piece in net.split_component(comp, z):
+            assert len(piece) <= len(comp) // 2
+
+
+class TestMedian:
+    def test_median_on_small_tree(self, small_tree):
+        assert small_tree.median(3, 4, 5) == 1
+        assert small_tree.median(3, 5, 2) == 2  # 2 lies on all three paths
+        assert small_tree.median(3, 4, 2) == 1
+
+    def test_median_collinear(self, small_tree):
+        assert small_tree.median(3, 1, 0) == 1
+
+    def test_median_identity(self, small_tree):
+        assert small_tree.median(3, 3, 5) == 3
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_median_lies_on_all_three_paths(self, seed):
+        net = random_tree(25, seed=seed)
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(20):
+            a, b, c = rng.sample(net.vertices, 3)
+            j = net.median(a, b, c)
+            assert j in net.path_vertices(a, b)
+            assert j in net.path_vertices(a, c)
+            assert j in net.path_vertices(b, c)
+
+
+class TestLineNetwork:
+    def test_make_line(self):
+        line = make_line_network(2, 4)
+        assert line.n_vertices == 5
+        assert line.is_path_graph()
+        assert line.network_id == 2
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            make_line_network(0, 0)
+
+
+@st.composite
+def tree_and_pair(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    net = TreeNetwork(0, random_tree_edges(n, seed=seed))
+    u = draw(st.integers(min_value=0, max_value=n - 1))
+    v = draw(st.integers(min_value=0, max_value=n - 1))
+    return net, u, v
+
+
+class TestPathProperties:
+    @given(tree_and_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_path_symmetric(self, data):
+        net, u, v = data
+        assert net.path_vertices(u, v) == tuple(reversed(net.path_vertices(v, u)))
+
+    @given(tree_and_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_path_endpoints_and_simplicity(self, data):
+        net, u, v = data
+        path = net.path_vertices(u, v)
+        assert path[0] == u and path[-1] == v
+        assert len(set(path)) == len(path)  # simple
+        for a, b in zip(path, path[1:]):
+            assert net.has_edge(a, b)
+
+    @given(tree_and_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_distance_matches_path(self, data):
+        net, u, v = data
+        assert net.distance(u, v) == len(net.path_vertices(u, v)) - 1

@@ -1,0 +1,25 @@
+"""Tests for repro.core.types."""
+import pytest
+
+from repro.core.types import EPS, edge_key
+
+
+class TestEdgeKey:
+    def test_orders_endpoints(self):
+        assert edge_key(3, 5, 2) == (3, 2, 5)
+
+    def test_preserves_ordered_endpoints(self):
+        assert edge_key(0, 1, 9) == (0, 1, 9)
+
+    def test_same_edge_both_directions(self):
+        assert edge_key(1, 4, 7) == edge_key(1, 7, 4)
+
+    def test_distinct_networks_distinct_keys(self):
+        assert edge_key(0, 1, 2) != edge_key(1, 1, 2)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            edge_key(0, 3, 3)
+
+    def test_eps_is_small_positive(self):
+        assert 0 < EPS < 1e-6

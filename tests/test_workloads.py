@@ -1,0 +1,217 @@
+"""Tests for workload generators and the paper's worked examples."""
+import pytest
+
+from repro.core.demand import Demand
+from repro.core.problem import Problem
+from repro.trees.tree import TreeNetwork
+from repro.workloads.demands import random_tree_problem
+from repro.workloads.lines import random_line_problem
+from repro.workloads.scenarios import (
+    figure1_problem,
+    figure2_network,
+    figure2_problem,
+    figure6_demand,
+    figure6_network,
+    figure6_problem,
+)
+from repro.workloads.trees import SHAPES, random_forest, random_tree, random_tree_edges
+
+
+class TestTreeGenerators:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 41])
+    def test_valid_trees(self, shape, n):
+        net = TreeNetwork(0, random_tree_edges(n, seed=1, shape=shape), vertices=range(n))
+        assert net.n_vertices == n
+
+    def test_deterministic_under_seed(self):
+        assert random_tree_edges(20, seed=5) == random_tree_edges(20, seed=5)
+        assert random_tree_edges(20, seed=5) != random_tree_edges(20, seed=6)
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            random_tree_edges(10, shape="moebius")
+
+    def test_path_shape(self):
+        net = random_tree(10, shape="path")
+        assert net.is_path_graph()
+
+    def test_star_shape(self):
+        net = random_tree(10, shape="star")
+        assert net.degree(0) == 9
+
+    def test_forest_distinct_networks(self):
+        forest = random_forest(15, 3, seed=2)
+        edge_sets = [frozenset(net.edges()) for net in forest.values()]
+        # Different seeds per network: overwhelmingly likely distinct.
+        assert len({frozenset((u, v) for (_, u, v) in es) for es in edge_sets}) > 1
+
+
+class TestDemandGenerators:
+    def test_profit_range(self):
+        p = random_tree_problem(
+            random_forest(20, 1, seed=1), m=40, seed=2, pmax_over_pmin=7.0
+        )
+        assert p.pmin >= 1.0 - 1e-9
+        assert p.pmax <= 7.0 + 1e-9
+
+    @pytest.mark.parametrize("profile", ["uniform", "powerlaw", "two-point"])
+    def test_profit_profiles(self, profile):
+        p = random_tree_problem(
+            random_forest(15, 1, seed=3), m=20, seed=4,
+            profit_profile=profile, pmax_over_pmin=5.0,
+        )
+        assert all(1.0 - 1e-9 <= a.profit <= 5.0 + 1e-9 for a in p.demands)
+
+    def test_unknown_profit_profile(self):
+        with pytest.raises(ValueError):
+            random_tree_problem(
+                random_forest(10, 1, seed=1), m=4, seed=1, profit_profile="vibes"
+            )
+
+    @pytest.mark.parametrize("profile,check", [
+        ("unit", lambda h: h == 1.0),
+        ("narrow", lambda h: h <= 0.5),
+        ("uniform", lambda h: 0.1 <= h <= 1.0),
+        ("bimodal", lambda h: h <= 0.4 or h >= 0.6),
+    ])
+    def test_height_profiles(self, profile, check):
+        p = random_tree_problem(
+            random_forest(15, 1, seed=5), m=30, seed=6,
+            height_profile=profile, hmin=0.1,
+        )
+        assert all(check(a.height) for a in p.demands)
+
+    def test_locality_bounds_path_length(self):
+        p = random_tree_problem(
+            random_forest(40, 1, seed=7), m=25, seed=8, locality=3
+        )
+        for d in p.instances:
+            assert d.length <= 3
+
+    def test_access_size(self):
+        p = random_tree_problem(
+            random_forest(15, 4, seed=9), m=20, seed=10, access_size=2
+        )
+        assert all(len(nets) == 2 for nets in p.access.values())
+
+    def test_determinism(self):
+        a = random_tree_problem(random_forest(15, 2, seed=11), m=10, seed=12)
+        b = random_tree_problem(random_forest(15, 2, seed=11), m=10, seed=12)
+        assert [(d.u, d.v, d.profit) for d in a.demands] == [
+            (d.u, d.v, d.profit) for d in b.demands
+        ]
+
+
+class TestLineGenerators:
+    def test_windows_valid(self):
+        p = random_line_problem(40, 25, r=2, seed=1, window_slack=5)
+        for a in p.demands:
+            assert 0 <= a.release <= a.deadline <= 39
+            assert a.deadline - a.release + 1 >= a.processing
+
+    def test_rigid_jobs(self):
+        p = random_line_problem(30, 10, seed=2, window_slack=0)
+        for a in p.demands:
+            assert len(list(a.start_slots)) == 1
+
+    def test_processing_bounds(self):
+        p = random_line_problem(
+            40, 20, seed=3, min_processing=2, max_processing=5
+        )
+        assert all(2 <= a.processing <= 5 for a in p.demands)
+
+    def test_access_size(self):
+        p = random_line_problem(20, 12, r=3, seed=4, access_size=1)
+        assert all(len(nets) == 1 for nets in p.access.values())
+
+
+class TestFigure1:
+    """Every fact the Figure 1 caption states."""
+
+    def test_structure(self):
+        p = figure1_problem()
+        a, b, c = p.demands
+        assert (a.height, b.height, c.height) == (0.5, 0.7, 0.4)
+
+    def test_a_and_c_coexist(self):
+        p = figure1_problem()
+        insts = p.instances
+        d_a = next(d for d in insts if d.demand_id == 0)
+        d_c = next(d for d in insts if d.demand_id == 2)
+        from repro.core.solution import Solution
+
+        Solution.from_instances([d_a, d_c]).verify()
+
+    def test_b_and_c_coexist(self):
+        p = figure1_problem()
+        d_b = next(d for d in p.instances if d.demand_id == 1)
+        d_c = next(d for d in p.instances if d.demand_id == 2)
+        from repro.core.solution import Solution
+
+        Solution.from_instances([d_b, d_c]).verify()
+
+    def test_a_and_b_conflict(self):
+        p = figure1_problem()
+        d_a = next(d for d in p.instances if d.demand_id == 0)
+        d_b = next(d for d in p.instances if d.demand_id == 1)
+        from repro.core.solution import Solution
+
+        assert not Solution.from_instances([d_a, d_b]).is_feasible()
+
+
+class TestFigure2:
+    """Every fact the Figure 2 caption states."""
+
+    def test_all_three_share_edge_4_5(self):
+        p = figure2_problem()
+        for d in p.instances:
+            assert (0, 4, 5) in d.path_edges
+
+    def test_unit_height_only_one_schedulable(self):
+        from repro.baselines.exact import solve_exact
+
+        assert solve_exact(figure2_problem(unit_height=True)).profit == 1.0
+
+    def test_heights_first_and_third_coexist(self):
+        p = figure2_problem()
+        d0 = next(d for d in p.instances if d.demand_id == 0)
+        d2 = next(d for d in p.instances if d.demand_id == 2)
+        from repro.core.solution import Solution
+
+        Solution.from_instances([d0, d2]).verify()
+
+    def test_heights_second_excludes_others(self):
+        p = figure2_problem()
+        d0 = next(d for d in p.instances if d.demand_id == 0)
+        d1 = next(d for d in p.instances if d.demand_id == 1)
+        from repro.core.solution import Solution
+
+        assert not Solution.from_instances([d0, d1]).is_feasible()
+
+
+class TestFigure6:
+    """Every fact the paper states about the Figure 6 tree."""
+
+    def test_path_of_4_13(self):
+        net = figure6_network()
+        assert net.path_vertices(4, 13) == (4, 2, 5, 8, 13)
+
+    def test_fifteen_vertices(self):
+        assert figure6_network().n_vertices == 15
+
+    def test_rooting_at_1_captures_at_2(self):
+        from repro.trees.root_fixing import build_root_fixing
+
+        net = figure6_network()
+        p = Problem(networks={0: net}, demands=[figure6_demand()])
+        td = build_root_fixing(net, root=1)
+        (inst,) = p.instances
+        assert td.capture_node(inst) == 2
+
+    def test_problem_is_solvable(self):
+        from repro.algorithms.unit_trees import solve_unit_trees
+
+        report = solve_unit_trees(figure6_problem(), epsilon=0.1, mis="greedy")
+        report.solution.verify()
+        assert report.profit > 0
