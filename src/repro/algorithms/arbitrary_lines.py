@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmReport, line_layouts
+from repro.algorithms.base import AlgorithmReport, line_layouts, validate_engine
 from repro.algorithms.unit_lines import LINE_DELTA, solve_unit_lines
 from repro.core.dual import HeightRaise
 from repro.core.framework import geometric_thresholds, narrow_xi, run_two_phase
@@ -26,8 +26,10 @@ def solve_narrow_lines(
     seed: int = 0,
     hmin: Optional[float] = None,
     xi: Optional[float] = None,
+    engine: str = "reference",
 ) -> AlgorithmReport:
     """Narrow-instance algorithm on lines (Section 7, arbitrary heights)."""
+    validate_engine(engine)
     if not all(a.is_narrow for a in problem.demands):
         raise ValueError("narrow algorithm requires every height <= 1/2")
     if hmin is None:
@@ -38,7 +40,8 @@ def solve_narrow_lines(
         xi = narrow_xi(max(delta, LINE_DELTA), hmin)
     thresholds = geometric_thresholds(xi, epsilon)
     result = run_two_phase(
-        problem.instances, layout, HeightRaise(), thresholds, mis=mis, seed=seed
+        problem.instances, layout, HeightRaise(), thresholds, mis=mis, seed=seed,
+        engine=engine,
     )
     guarantee = (2 * delta * delta + 1) / result.slackness
     return AlgorithmReport(
@@ -55,19 +58,27 @@ def solve_arbitrary_lines(
     epsilon: float = 0.1,
     mis: str = "luby",
     seed: int = 0,
+    engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Theorem 7.2 algorithm on a line-network problem."""
+    validate_engine(engine)
     if not problem.has_wide:
-        return solve_narrow_lines(problem, epsilon=epsilon, mis=mis, seed=seed)
+        return solve_narrow_lines(
+            problem, epsilon=epsilon, mis=mis, seed=seed, engine=engine
+        )
     if not problem.has_narrow:
         return solve_unit_lines(
-            problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True
+            problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
+            engine=engine,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_unit_lines(
-        wide_problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True
+        wide_problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
+        engine=engine,
     )
-    narrow = solve_narrow_lines(narrow_problem, epsilon=epsilon, mis=mis, seed=seed)
+    narrow = solve_narrow_lines(
+        narrow_problem, epsilon=epsilon, mis=mis, seed=seed, engine=engine
+    )
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)
     )

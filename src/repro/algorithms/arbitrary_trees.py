@@ -15,7 +15,7 @@ factors: ``80 + eps``.
 """
 from __future__ import annotations
 
-from repro.algorithms.base import AlgorithmReport
+from repro.algorithms.base import AlgorithmReport, validate_engine
 from repro.algorithms.narrow_trees import solve_narrow_trees
 from repro.algorithms.unit_trees import solve_unit_trees
 from repro.core.problem import Problem
@@ -28,11 +28,14 @@ def solve_arbitrary_trees(
     mis: str = "luby",
     seed: int = 0,
     decomposition: str = "ideal",
+    engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Theorem 6.3 algorithm on *problem* (any heights)."""
+    validate_engine(engine)
     if not problem.has_wide:
         return solve_narrow_trees(
-            problem, epsilon=epsilon, mis=mis, seed=seed, decomposition=decomposition
+            problem, epsilon=epsilon, mis=mis, seed=seed,
+            decomposition=decomposition, engine=engine,
         )
     if not problem.has_narrow:
         return solve_unit_trees(
@@ -42,6 +45,7 @@ def solve_arbitrary_trees(
             seed=seed,
             decomposition=decomposition,
             allow_heights=True,
+            engine=engine,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_unit_trees(
@@ -51,9 +55,11 @@ def solve_arbitrary_trees(
         seed=seed,
         decomposition=decomposition,
         allow_heights=True,
+        engine=engine,
     )
     narrow = solve_narrow_trees(
-        narrow_problem, epsilon=epsilon, mis=mis, seed=seed, decomposition=decomposition
+        narrow_problem, epsilon=epsilon, mis=mis, seed=seed,
+        decomposition=decomposition, engine=engine,
     )
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.framework import InstanceLayout, TwoPhaseResult
+from repro.core.framework import ENGINES, InstanceLayout, TwoPhaseResult
 from repro.core.problem import Problem
 from repro.core.solution import Solution
 from repro.lines.layered import layered_by_length
@@ -27,6 +27,19 @@ DECOMPOSITION_BUILDERS: Dict[str, Callable[[TreeNetwork], TreeDecomposition]] = 
     "balancing": build_balancing,
     "root_fixing": build_root_fixing,
 }
+
+
+def validate_engine(engine: str) -> str:
+    """Validate a first-phase engine name early, before any layout work.
+
+    Every ``solve_*`` entry point accepts ``engine=`` and passes it to
+    :func:`repro.core.framework.run_two_phase`; validating here gives
+    composite algorithms (wide/narrow splits) one error site instead of
+    failing halfway through the first sub-run.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    return engine
 
 
 @dataclass

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmReport, tree_layouts
+from repro.algorithms.base import AlgorithmReport, tree_layouts, validate_engine
 from repro.algorithms.unit_trees import TREE_DELTA
 from repro.core.dual import HeightRaise
 from repro.core.framework import geometric_thresholds, narrow_xi, run_two_phase
@@ -27,12 +27,14 @@ def solve_narrow_trees(
     decomposition: str = "ideal",
     hmin: Optional[float] = None,
     xi: Optional[float] = None,
+    engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Lemma 6.2 narrow-instance algorithm on *problem*.
 
     ``hmin`` defaults to the smallest demand height; the paper assumes it
     is known to (or fixed a priori for) all processors.
     """
+    validate_engine(engine)
     if not all(a.is_narrow for a in problem.demands):
         raise ValueError("narrow algorithm requires every height <= 1/2")
     if hmin is None:
@@ -45,7 +47,8 @@ def solve_narrow_trees(
         xi = narrow_xi(max(delta, TREE_DELTA), hmin)
     thresholds = geometric_thresholds(xi, epsilon)
     result = run_two_phase(
-        problem.instances, layout, HeightRaise(), thresholds, mis=mis, seed=seed
+        problem.instances, layout, HeightRaise(), thresholds, mis=mis, seed=seed,
+        engine=engine,
     )
     guarantee = (2 * delta * delta + 1) / result.slackness
     return AlgorithmReport(

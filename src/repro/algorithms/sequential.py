@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Set, Tuple
 
-from repro.algorithms.base import AlgorithmReport
+from repro.algorithms.base import AlgorithmReport, validate_engine
 from repro.core.demand import DemandInstance
 from repro.core.dual import UnitRaise
 from repro.core.framework import (
@@ -38,12 +38,14 @@ from repro.trees.root_fixing import build_root_fixing
 def solve_sequential(
     problem: Problem,
     use_alpha: Optional[bool] = None,
+    engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Appendix A sequential algorithm.
 
     ``use_alpha`` defaults to skipping alpha exactly when no demand has
     more than one instance (the single-tree refinement).
     """
+    validate_engine(engine)
     if not problem.is_unit_height:
         raise ValueError("the Appendix A algorithm is for the unit-height case")
     instances = problem.instances
@@ -86,7 +88,8 @@ def solve_sequential(
 
     # One epoch per network, single stage with threshold 1 (lambda = 1).
     dual, stack, events, counters = run_first_phase(
-        instances, layout, UnitRaise(use_alpha=use_alpha), [1.0], sequential_pick
+        instances, layout, UnitRaise(use_alpha=use_alpha), [1.0], sequential_pick,
+        engine=engine,
     )
     solution = run_second_phase(stack)
     counters.phase2_rounds = len(stack)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmReport, line_layouts
+from repro.algorithms.base import AlgorithmReport, line_layouts, validate_engine
 from repro.core.dual import UnitRaise
 from repro.core.framework import geometric_thresholds, run_two_phase, unit_xi
 from repro.core.problem import Problem
@@ -28,8 +28,10 @@ def solve_unit_lines(
     seed: int = 0,
     allow_heights: bool = False,
     xi: Optional[float] = None,
+    engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Theorem 7.1 algorithm on a line-network problem."""
+    validate_engine(engine)
     if not allow_heights and not problem.is_unit_height:
         raise ValueError(
             "unit-height algorithm requires unit heights "
@@ -41,7 +43,8 @@ def solve_unit_lines(
         xi = unit_xi(max(delta, LINE_DELTA))
     thresholds = geometric_thresholds(xi, epsilon)
     result = run_two_phase(
-        problem.instances, layout, UnitRaise(), thresholds, mis=mis, seed=seed
+        problem.instances, layout, UnitRaise(), thresholds, mis=mis, seed=seed,
+        engine=engine,
     )
     guarantee = (delta + 1) / result.slackness
     return AlgorithmReport(

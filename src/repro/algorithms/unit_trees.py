@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmReport, tree_layouts
+from repro.algorithms.base import AlgorithmReport, tree_layouts, validate_engine
 from repro.core.dual import UnitRaise
 from repro.core.framework import geometric_thresholds, run_two_phase, unit_xi
 from repro.core.problem import Problem
@@ -27,6 +27,7 @@ def solve_unit_trees(
     decomposition: str = "ideal",
     allow_heights: bool = False,
     xi: Optional[float] = None,
+    engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Theorem 5.3 algorithm on *problem*.
 
@@ -47,7 +48,10 @@ def solve_unit_trees(
     xi:
         Override the stage ratio (defaults to ``2(Delta+1)/(2(Delta+1)+1)``
         for the realized ``Delta``, i.e. ``14/15`` when ``Delta = 6``).
+    engine:
+        First-phase engine, ``'reference'`` or ``'incremental'``.
     """
+    validate_engine(engine)
     if not allow_heights and not problem.is_unit_height:
         raise ValueError(
             "unit-height algorithm requires unit heights "
@@ -59,7 +63,8 @@ def solve_unit_trees(
         xi = unit_xi(max(delta, TREE_DELTA))
     thresholds = geometric_thresholds(xi, epsilon)
     result = run_two_phase(
-        problem.instances, layout, UnitRaise(), thresholds, mis=mis, seed=seed
+        problem.instances, layout, UnitRaise(), thresholds, mis=mis, seed=seed,
+        engine=engine,
     )
     guarantee = (delta + 1) / result.slackness
     return AlgorithmReport(

@@ -2,6 +2,7 @@
 from repro.core.demand import Demand, DemandInstance, WindowDemand
 from repro.core.dual import DualState, HeightRaise, RaiseEvent, UnitRaise
 from repro.core.framework import (
+    ENGINES,
     InstanceLayout,
     PhaseCounters,
     TwoPhaseResult,
@@ -26,6 +27,7 @@ __all__ = [
     "Demand",
     "DemandInstance",
     "DualState",
+    "ENGINES",
     "EPS",
     "EdgeKey",
     "HeightRaise",

@@ -61,9 +61,18 @@ class DualState:
         """``s = p(d) - LHS`` (positive while the constraint is unsatisfied)."""
         return d.profit - self.lhs(d)
 
+    @staticmethod
+    def lhs_satisfies(lhs: float, profit: float, tau: float) -> bool:
+        """The ``tau``-satisfied predicate on a precomputed LHS value.
+
+        Shared by :meth:`is_satisfied` and the incremental engine's LHS
+        cache so the tolerance convention lives in exactly one place.
+        """
+        return lhs >= tau * profit - EPS
+
     def is_satisfied(self, d: DemandInstance, tau: float = 1.0) -> bool:
         """The paper's ``tau``-satisfied test: ``LHS >= tau * p(d)``."""
-        return self.lhs(d) >= tau * d.profit - EPS
+        return self.lhs_satisfies(self.lhs(d), d.profit, tau)
 
     def value(self) -> float:
         """Dual objective ``sum alpha + sum beta``."""

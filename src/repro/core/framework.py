@@ -17,6 +17,34 @@ instance, i.e. the layered decomposition), (b) the threshold schedule
 single ``1/(5+eps)`` threshold), (c) the raise rule (unit or heights),
 and (d) the MIS oracle.  The approximation guarantees of Lemma 3.1 and
 Lemma 6.1 follow from the interference property of the layout.
+
+Engines
+-------
+
+Two interchangeable first-phase engines sit behind the ``engine=``
+switch of :func:`run_two_phase` / :func:`run_first_phase`:
+
+* ``engine="reference"`` (default) -- the literal Figure 7 loop: every
+  step rescans all group members for ``tau``-satisfaction and rebuilds
+  the restricted conflict graph from scratch, ``O(steps x group^2)``
+  work per stage.  It is the executable specification.
+* ``engine="incremental"`` -- semantically identical, but maintains a
+  per-(epoch, stage) *unsatisfied* set updated via dirty-sets: a dual
+  raise on instance ``d`` moves ``alpha`` only for demand ``a_d`` and
+  ``beta`` only on ``pi(d)``, so the instances whose satisfaction can
+  flip are found through the prebuilt edge->instance index
+  (:func:`repro.distributed.conflict.build_instance_index`).  Because
+  raises only increase constraint LHS values, satisfaction is monotone
+  within a stage and the set never needs a full rescan until the next
+  threshold.  The per-step ``restrict()`` rebuild is replaced by an
+  active-set adjacency view that shrinks as instances satisfy.
+
+Both engines produce bit-identical artifacts (solutions, raise events,
+stacks, schedule counters) for the bundled MIS oracles; the golden
+equivalence suite in ``tests/test_engine_equivalence.py`` enforces
+this.  :class:`PhaseCounters` exposes ``satisfaction_checks`` and
+``adjacency_touches`` so the asymptotic win is measurable (see
+``benchmarks/bench_e16_engine_scaling.py``).
 """
 from __future__ import annotations
 
@@ -28,9 +56,17 @@ from repro.core.demand import DemandInstance
 from repro.core.dual import DualState, RaiseEvent, RaiseRule
 from repro.core.solution import CapacityLedger, Solution
 from repro.core.types import EdgeKey, InstanceId
-from repro.distributed.conflict import ConflictAdjacency, build_conflict_graph, restrict
+from repro.distributed.conflict import (
+    ConflictAdjacency,
+    build_conflict_graph,
+    build_instance_index,
+    restrict,
+)
 from repro.distributed.mis import MISOracle, make_mis_oracle
 from repro.trees.layered import LayeredDecomposition
+
+#: The interchangeable first-phase engines (see the module docstring).
+ENGINES = ("reference", "incremental")
 
 
 @dataclass
@@ -118,6 +154,14 @@ class PhaseCounters:
     #: communication rounds: per step, Time(MIS) + 1 round to broadcast the
     #: new dual values; phase 2 costs one announcement round per stack entry.
     phase2_rounds: int = 0
+    #: calls to ``DualState.is_satisfied`` made by the first phase -- the
+    #: reference engine pays steps x group per stage, the incremental
+    #: engine group + dirty-set rechecks.
+    satisfaction_checks: int = 0
+    #: adjacency entries materialized or mutated while preparing each
+    #: step's restricted conflict graph (entry plus neighbor-set size, so
+    #: the number is comparable across engines).
+    adjacency_touches: int = 0
 
     @property
     def communication_rounds(self) -> int:
@@ -163,24 +207,42 @@ class TwoPhaseResult:
         return max(len(ev.critical_edges) for ev in self.events)
 
 
-def run_first_phase(
+FirstPhaseArtifacts = Tuple[
+    DualState, List[List[DemandInstance]], List[RaiseEvent], PhaseCounters
+]
+
+
+def _stall_error(epoch: int, stage_no: int, n_members: int) -> RuntimeError:
+    """A progress-guard failure: the MIS oracle stopped satisfying members."""
+    return RuntimeError(
+        f"first phase made no progress in epoch {epoch}, stage {stage_no}: "
+        f"exceeded {n_members} steps for a group of {n_members} members "
+        "(each step must tau-satisfy at least one instance; the MIS oracle "
+        "is returning empty or non-raising sets)"
+    )
+
+
+def _group_members(
+    instances: Sequence[DemandInstance], layout: InstanceLayout
+) -> Dict[int, List[DemandInstance]]:
+    groups: Dict[int, List[DemandInstance]] = {}
+    for d in instances:
+        groups.setdefault(layout.group_of[d.instance_id], []).append(d)
+    return groups
+
+
+def _run_first_phase_reference(
     instances: Sequence[DemandInstance],
     layout: InstanceLayout,
     raise_rule: RaiseRule,
     thresholds: Sequence[float],
     mis_oracle: MISOracle,
-    conflict_adj: Optional[ConflictAdjacency] = None,
-) -> Tuple[DualState, List[List[DemandInstance]], List[RaiseEvent], PhaseCounters]:
-    """Run the first phase (Figure 7) and return its artifacts."""
-    if not thresholds:
-        raise ValueError("at least one stage threshold is required")
+    conflict_adj: ConflictAdjacency,
+) -> FirstPhaseArtifacts:
+    """The literal Figure 7 loop: full rescans, per-step ``restrict()``."""
     dual = DualState(use_height_rule=raise_rule.use_height_rule)
     by_id = {d.instance_id: d for d in instances}
-    if conflict_adj is None:
-        conflict_adj = build_conflict_graph(instances)
-    groups: Dict[int, List[DemandInstance]] = {}
-    for d in instances:
-        groups.setdefault(layout.group_of[d.instance_id], []).append(d)
+    groups = _group_members(instances, layout)
     events: List[RaiseEvent] = []
     stack: List[List[DemandInstance]] = []
     counters = PhaseCounters()
@@ -194,13 +256,16 @@ def run_first_phase(
             counters.stages += 1
             step = 0
             while True:
+                counters.satisfaction_checks += len(members)
                 unsatisfied = [d for d in members if not dual.is_satisfied(d, tau)]
                 if not unsatisfied:
                     break
                 step += 1
-                if step > len(members) + 1:  # cannot happen: each raise satisfies >= 1
-                    raise RuntimeError("first phase failed to make progress")
+                if step > len(members):  # each step must satisfy >= 1 member
+                    raise _stall_error(epoch, stage_no, len(members))
                 unsatisfied_ids = [d.instance_id for d in unsatisfied]
+                for i in unsatisfied_ids:
+                    counters.adjacency_touches += 1 + len(conflict_adj[i])
                 mis_ids, rounds = mis_oracle(
                     unsatisfied,
                     restrict(conflict_adj, unsatisfied_ids),
@@ -227,6 +292,148 @@ def run_first_phase(
     return dual, stack, events, counters
 
 
+def _run_first_phase_incremental(
+    instances: Sequence[DemandInstance],
+    layout: InstanceLayout,
+    raise_rule: RaiseRule,
+    thresholds: Sequence[float],
+    mis_oracle: MISOracle,
+    conflict_adj: ConflictAdjacency,
+) -> FirstPhaseArtifacts:
+    """Dirty-set engine: same semantics, incremental satisfaction state.
+
+    Correctness rests on two facts.  (1) The LHS of an instance's dual
+    constraint changes only when some neighbor's raise touches it: a
+    raise on ``d`` moves ``alpha`` only for demand ``a_d`` and ``beta``
+    only on ``pi(d)``, so the instances whose LHS moved (the *dirty
+    set*) are exactly what :class:`InstanceIndex` returns.  (2) Raises
+    only *increase* LHS values, so within one (epoch, stage) a satisfied
+    instance stays satisfied -- only dirty instances can change status.
+
+    Together these let the engine cache each member's LHS (recomputed
+    only when dirty) so the ``tau``-satisfaction test is a cached float
+    comparison, and maintain the per-stage *unsatisfied* set plus an
+    active-set adjacency view that shrinks in place as instances
+    satisfy, replacing the reference engine's per-step full rescan and
+    ``restrict()`` rebuild.
+    """
+    dual = DualState(use_height_rule=raise_rule.use_height_rule)
+    by_id = {d.instance_id: d for d in instances}
+    index = build_instance_index(instances)
+    groups = _group_members(instances, layout)
+    events: List[RaiseEvent] = []
+    stack: List[List[DemandInstance]] = []
+    counters = PhaseCounters()
+    order = 0
+    for epoch in range(1, layout.n_epochs + 1):
+        members = groups.get(epoch, [])
+        counters.epochs += 1
+        if not members:
+            continue
+        # LHS cache, one full evaluation per member per epoch; afterwards
+        # entries are recomputed only when their instance is dirty.
+        lhs_of: Dict[InstanceId, float] = {}
+        for d in members:
+            counters.satisfaction_checks += 1
+            lhs_of[d.instance_id] = dual.lhs(d)
+        for stage_no, tau in enumerate(thresholds, start=1):
+            counters.stages += 1
+            # Stage boundary: tau rose; re-derive the unsatisfied set from
+            # the cache (same predicate as DualState.is_satisfied).
+            unsat = {
+                d.instance_id
+                for d in members
+                if not DualState.lhs_satisfies(lhs_of[d.instance_id], d.profit, tau)
+            }
+            if not unsat:
+                continue
+            # Active-set view of the conflict graph, built once per stage
+            # and shrunk in place as instances satisfy.
+            active_adj: ConflictAdjacency = {}
+            for i in unsat:
+                active_adj[i] = conflict_adj[i] & unsat
+                counters.adjacency_touches += 1 + len(conflict_adj[i])
+            step = 0
+            while unsat:
+                step += 1
+                if step > len(members):  # each step must satisfy >= 1 member
+                    raise _stall_error(epoch, stage_no, len(members))
+                candidates = [by_id[i] for i in sorted(unsat)]
+                mis_ids, rounds = mis_oracle(
+                    candidates, active_adj, (epoch, stage_no, step)
+                )
+                counters.mis_rounds += rounds
+                chosen = [by_id[i] for i in sorted(mis_ids)]
+                dirty: set = set()
+                for d in chosen:
+                    delta = raise_rule.apply(dual, d, layout.pi[d.instance_id])
+                    events.append(
+                        RaiseEvent(
+                            order=order,
+                            instance=d,
+                            delta=delta,
+                            critical_edges=layout.pi[d.instance_id],
+                            step_tuple=(epoch, stage_no, step),
+                        )
+                    )
+                    order += 1
+                    counters.raises += 1
+                    dirty.add(d.instance_id)
+                    dirty |= index.affected_by(d.demand_id, layout.pi[d.instance_id])
+                stack.append(chosen)
+                counters.steps += 1
+                # Refresh the cache for dirty group members and retire the
+                # ones that became tau-satisfied.
+                newly_satisfied = []
+                for i in sorted(dirty & lhs_of.keys()):
+                    d = by_id[i]
+                    counters.satisfaction_checks += 1
+                    lhs = dual.lhs(d)
+                    lhs_of[i] = lhs
+                    if i in unsat and DualState.lhs_satisfies(lhs, d.profit, tau):
+                        newly_satisfied.append(i)
+                for i in newly_satisfied:
+                    unsat.discard(i)
+                    nbrs = active_adj.pop(i)
+                    counters.adjacency_touches += 1 + len(nbrs)
+                    for nb in nbrs:
+                        if nb in active_adj:
+                            active_adj[nb].discard(i)
+            counters.max_steps_per_stage = max(counters.max_steps_per_stage, step)
+    return dual, stack, events, counters
+
+
+_ENGINE_IMPLS = {
+    "reference": _run_first_phase_reference,
+    "incremental": _run_first_phase_incremental,
+}
+
+
+def run_first_phase(
+    instances: Sequence[DemandInstance],
+    layout: InstanceLayout,
+    raise_rule: RaiseRule,
+    thresholds: Sequence[float],
+    mis_oracle: MISOracle,
+    conflict_adj: Optional[ConflictAdjacency] = None,
+    engine: str = "reference",
+) -> FirstPhaseArtifacts:
+    """Run the first phase (Figure 7) and return its artifacts.
+
+    ``engine`` selects the implementation (see the module docstring);
+    both produce identical artifacts for the bundled MIS oracles.
+    """
+    if not thresholds:
+        raise ValueError("at least one stage threshold is required")
+    try:
+        impl = _ENGINE_IMPLS[engine]
+    except KeyError:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if conflict_adj is None:
+        conflict_adj = build_conflict_graph(instances)
+    return impl(instances, layout, raise_rule, thresholds, mis_oracle, conflict_adj)
+
+
 def run_second_phase(stack: Sequence[Sequence[DemandInstance]]) -> Solution:
     """Run the second phase: pop in reverse, admit greedily if feasible."""
     ledger = CapacityLedger()
@@ -246,15 +453,18 @@ def run_two_phase(
     thresholds: Sequence[float],
     mis: str = "luby",
     seed: int = 0,
+    engine: str = "reference",
 ) -> TwoPhaseResult:
     """Run both phases and assemble a :class:`TwoPhaseResult`.
 
-    ``mis`` selects the oracle (``'luby'`` or ``'greedy'``); ``seed``
-    makes randomized runs reproducible.
+    ``mis`` selects the oracle (``'luby'``, ``'hash'`` or ``'greedy'``);
+    ``seed`` makes randomized runs reproducible; ``engine`` selects the
+    first-phase implementation (``'reference'`` or ``'incremental'``,
+    equivalent by construction -- see the module docstring).
     """
     oracle = make_mis_oracle(mis, seed)
     dual, stack, events, counters = run_first_phase(
-        instances, layout, raise_rule, thresholds, oracle
+        instances, layout, raise_rule, thresholds, oracle, engine=engine
     )
     solution = run_second_phase(stack)
     counters.phase2_rounds = len(stack)

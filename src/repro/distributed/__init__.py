@@ -1,7 +1,9 @@
 """Synchronous message-passing substrate and distributed protocols."""
 from repro.distributed.conflict import (
     ConflictAdjacency,
+    InstanceIndex,
     build_conflict_graph,
+    build_instance_index,
     is_independent,
     restrict,
 )
@@ -48,6 +50,7 @@ def __getattr__(name):
 __all__ = [
     "ConflictAdjacency",
     "DistributedRunReport",
+    "InstanceIndex",
     "LubyBudgetExceeded",
     "Message",
     "Node",
@@ -57,6 +60,7 @@ __all__ = [
     "SyncSimulator",
     "TopologyViolation",
     "build_conflict_graph",
+    "build_instance_index",
     "build_layout_and_thresholds",
     "default_schedule",
     "greedy_mis",

@@ -11,13 +11,54 @@ rather than a blind quadratic pass.
 """
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
 
 from repro.core.demand import DemandInstance
 from repro.core.types import DemandId, EdgeKey, InstanceId
 
 #: Adjacency of the conflict graph: instance id -> conflicting instance ids.
 ConflictAdjacency = Dict[InstanceId, Set[InstanceId]]
+
+
+@dataclass(frozen=True)
+class InstanceIndex:
+    """Reverse indices from edges and demands to the instances touching them.
+
+    ``by_edge[e]`` lists every instance whose *path* contains ``e``;
+    ``by_demand[a]`` lists every instance of demand ``a``.  Together they
+    answer the incremental engine's dirty-set query: a dual raise on
+    instance ``d`` changes ``beta`` only on ``pi(d)`` and ``alpha`` only
+    on ``a_d``, so the instances whose satisfaction may flip are exactly
+    ``union(by_edge[e] for e in pi(d)) | by_demand[a_d]``.
+    """
+
+    by_edge: Dict[EdgeKey, FrozenSet[InstanceId]]
+    by_demand: Dict[DemandId, FrozenSet[InstanceId]]
+
+    def affected_by(
+        self, demand_id: DemandId, critical_edges: Iterable[EdgeKey]
+    ) -> Set[InstanceId]:
+        """Ids whose dual constraint moved after a raise on *demand_id*
+        with the given critical edges."""
+        out: Set[InstanceId] = set(self.by_demand.get(demand_id, ()))
+        for e in critical_edges:
+            out |= self.by_edge.get(e, frozenset())
+        return out
+
+
+def build_instance_index(instances: Sequence[DemandInstance]) -> InstanceIndex:
+    """Build the edge->instances and demand->instances reverse indices."""
+    by_edge: Dict[EdgeKey, Set[InstanceId]] = {}
+    by_demand: Dict[DemandId, Set[InstanceId]] = {}
+    for d in instances:
+        by_demand.setdefault(d.demand_id, set()).add(d.instance_id)
+        for e in d.path_edges:
+            by_edge.setdefault(e, set()).add(d.instance_id)
+    return InstanceIndex(
+        by_edge={e: frozenset(ids) for e, ids in by_edge.items()},
+        by_demand={a: frozenset(ids) for a, ids in by_demand.items()},
+    )
 
 
 def build_conflict_graph(instances: Sequence[DemandInstance]) -> ConflictAdjacency:

@@ -1,27 +1,47 @@
-"""Workload generators and the paper's worked examples."""
+"""Workload generators, the worked examples, and the named registry."""
 from repro.workloads.demands import random_tree_problem
 from repro.workloads.lines import random_line_problem
+from repro.workloads.random_suite import (
+    REGISTRY,
+    WorkloadSpec,
+    build_workload,
+    bursty_line_problem,
+    get_workload,
+    register_workload,
+    workload_names,
+)
 from repro.workloads.scenarios import (
+    SCENARIOS,
     figure1_problem,
     figure2_network,
     figure2_problem,
     figure6_demand,
     figure6_network,
     figure6_problem,
+    scenario,
 )
 from repro.workloads.trees import SHAPES, random_forest, random_tree, random_tree_edges
 
 __all__ = [
+    "REGISTRY",
+    "SCENARIOS",
     "SHAPES",
+    "WorkloadSpec",
+    "build_workload",
+    "bursty_line_problem",
     "figure1_problem",
     "figure2_network",
     "figure2_problem",
     "figure6_demand",
     "figure6_network",
     "figure6_problem",
+    "get_workload",
     "random_forest",
     "random_line_problem",
     "random_tree",
     "random_tree_edges",
     "random_tree_problem",
+    "register_workload",
+    "scenario",
+    "workload_names",
 ]

@@ -36,6 +36,8 @@ def _random_height(rng: random.Random, profile: str, hmin: float) -> float:
         return rng.uniform(hmin, 1.0)
     if profile == "narrow":
         return rng.uniform(hmin, 0.5)
+    if profile == "wide":
+        return rng.uniform(0.55, 1.0)
     if profile == "bimodal":
         return rng.uniform(hmin, 0.4) if rng.random() < 0.5 else rng.uniform(0.6, 1.0)
     raise ValueError(f"unknown height profile {profile!r}")

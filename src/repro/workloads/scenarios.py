@@ -11,10 +11,15 @@
   4-2-5-8-13; bending points w.r.t. 3 and 9 are 2 and 5; node 4 has one
   wing <4,2>; node 8 has wings <5,8> and <8,13>; rooting at 1 captures
   <4,13> at node 2).
+
+The fixed scenarios are registered by name in :data:`SCENARIOS` (and,
+alongside the scale generators, in the unified registry of
+:mod:`repro.workloads.random_suite`) so tests and benchmarks draw the
+same instances from one place.
 """
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.core.demand import Demand, WindowDemand
 from repro.core.problem import Problem
@@ -105,3 +110,23 @@ def figure6_problem() -> Problem:
         Demand(demand_id=5, u=9, v=8, profit=1.0),
     ]
     return Problem(networks={0: figure6_network()}, demands=demands)
+
+
+#: The paper's worked examples, by name.  Values are zero-argument
+#: builders returning a fresh :class:`Problem`.
+SCENARIOS: Dict[str, Callable[[], Problem]] = {
+    "figure1": figure1_problem,
+    "figure2": figure2_problem,
+    "figure2-unit": lambda: figure2_problem(unit_height=True),
+    "figure6": figure6_problem,
+}
+
+
+def scenario(name: str) -> Problem:
+    """Build the named worked example (see :data:`SCENARIOS`)."""
+    try:
+        return SCENARIOS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )

@@ -138,6 +138,54 @@ class TestHashLubyMIS:
         assert 0.0 <= p < 1.0
 
 
+def _random_conflict_fixture(seed, n_instances=30, n_slots=40):
+    """Synthetic random conflict graphs: random intervals on a line
+    (overlap conflicts) plus shared demand ids (same-demand conflicts),
+    independent of the tree-problem pipeline."""
+    rng = random.Random(seed)
+    instances = []
+    for iid in range(n_instances):
+        a = rng.randrange(0, n_slots - 2)
+        b = rng.randrange(a + 1, min(n_slots, a + 1 + rng.randint(1, 8)))
+        instances.append(
+            make_instance(iid, demand_id=iid // 3, network_id=rng.randrange(2),
+                          verts=list(range(a, b + 1)))
+        )
+    return instances, build_conflict_graph(instances)
+
+
+class TestOraclesOnRandomGraphs:
+    """Satellite: maximality of all three oracles on random conflict
+    graphs, and hash-Luby reproducibility under (seed, context)."""
+
+    @pytest.mark.parametrize("kind", ["greedy", "luby", "hash"])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_maximal_independent_on_random_graphs(self, kind, seed):
+        instances, adj = _random_conflict_fixture(seed)
+        oracle = make_mis_oracle(kind, seed)
+        chosen, _ = oracle(instances, adj, (1, 2, 3))
+        _assert_valid_mis(chosen, instances, adj)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_hash_luby_reproducible_same_seed_and_context(self, seed):
+        instances, adj = _random_conflict_fixture(seed)
+        a, rounds_a = hash_luby_mis(instances, adj, (2, 3, 4), seed)
+        b, rounds_b = hash_luby_mis(instances, adj, (2, 3, 4), seed)
+        assert a == b and rounds_a == rounds_b
+        # Fresh factory-made oracles agree too: no hidden state.
+        o1 = make_mis_oracle("hash", seed)
+        o2 = make_mis_oracle("hash", seed)
+        assert o1(instances, adj, (2, 3, 4))[0] == o2(instances, adj, (2, 3, 4))[0]
+
+    def test_hash_luby_seed_or_context_changes_priorities(self):
+        instances, adj = _random_conflict_fixture(5)
+        base, _ = hash_luby_mis(instances, adj, (1, 1, 1), seed=0)
+        # Other seeds/contexts give valid (possibly different) MIS's.
+        for seed, ctx in [(1, (1, 1, 1)), (0, (1, 1, 2)), (0, (9, 9, 9))]:
+            other, _ = hash_luby_mis(instances, adj, ctx, seed=seed)
+            _assert_valid_mis(other, instances, adj)
+
+
 class TestOracleFactory:
     def test_unknown_kind(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,216 @@
+"""Golden equivalence of the two first-phase engines.
+
+The incremental dirty-set engine must be *bit-identical* to the
+reference Figure 7 loop -- not merely "as good": the same solution ids,
+the same raise events in the same order with the same deltas, the same
+stack shape and schedule counters, and the same final dual assignment --
+for every algorithm, every MIS oracle, the paper's worked examples, and
+seeded random-suite workloads.  Any divergence means the dirty-set
+propagation missed an affected instance (or invented one, desynching
+the Luby RNG stream).
+"""
+import pytest
+
+from repro.algorithms.arbitrary_lines import solve_arbitrary_lines, solve_narrow_lines
+from repro.algorithms.arbitrary_trees import solve_arbitrary_trees
+from repro.algorithms.narrow_trees import solve_narrow_trees
+from repro.algorithms.sequential import solve_sequential
+from repro.algorithms.unit_lines import solve_unit_lines
+from repro.algorithms.unit_trees import solve_unit_trees
+from repro.baselines.panconesi_sozio import (
+    solve_ps_arbitrary_lines,
+    solve_ps_unit_lines,
+)
+from repro.workloads import build_workload, random_tree_problem, scenario
+from repro.workloads.trees import random_forest
+
+ORACLES = ("greedy", "luby", "hash")
+
+
+def assert_results_identical(ref, inc):
+    """Field-by-field identity of two :class:`TwoPhaseResult` objects."""
+    assert [d.instance_id for d in ref.solution.selected] == [
+        d.instance_id for d in inc.solution.selected
+    ]
+    assert [
+        (e.order, e.instance.instance_id, e.delta, e.critical_edges, e.step_tuple)
+        for e in ref.events
+    ] == [
+        (e.order, e.instance.instance_id, e.delta, e.critical_edges, e.step_tuple)
+        for e in inc.events
+    ]
+    assert [[d.instance_id for d in batch] for batch in ref.stack] == [
+        [d.instance_id for d in batch] for batch in inc.stack
+    ]
+    rc, ic = ref.counters, inc.counters
+    assert (rc.epochs, rc.stages, rc.steps, rc.raises) == (
+        ic.epochs, ic.stages, ic.steps, ic.raises
+    )
+    assert rc.mis_rounds == ic.mis_rounds
+    assert rc.max_steps_per_stage == ic.max_steps_per_stage
+    assert ref.dual.alpha == inc.dual.alpha
+    assert ref.dual.beta == inc.dual.beta
+    assert ref.thresholds == inc.thresholds
+
+
+def assert_reports_identical(ref, inc):
+    """Identity of two :class:`AlgorithmReport` objects (recursing into
+    the wide/narrow parts of composite algorithms)."""
+    assert [d.instance_id for d in ref.solution.selected] == [
+        d.instance_id for d in inc.solution.selected
+    ]
+    assert ref.guarantee == inc.guarantee
+    assert ref.certified_upper_bound == inc.certified_upper_bound
+    if ref.result is not None or inc.result is not None:
+        assert_results_identical(ref.result, inc.result)
+    assert set(ref.parts) == set(inc.parts)
+    for key in ref.parts:
+        assert_reports_identical(ref.parts[key], inc.parts[key])
+
+
+def both_engines(solver, problem, **kwargs):
+    ref = solver(problem, engine="reference", **kwargs)
+    inc = solver(problem, engine="incremental", **kwargs)
+    return ref, inc
+
+
+class TestUnitTrees:
+    @pytest.mark.parametrize("mis", ORACLES)
+    @pytest.mark.parametrize("name", ["figure2-unit", "figure6"])
+    def test_scenarios(self, name, mis):
+        ref, inc = both_engines(
+            solve_unit_trees, scenario(name), epsilon=0.15, mis=mis, seed=7
+        )
+        assert_reports_identical(ref, inc)
+
+    @pytest.mark.parametrize("mis", ORACLES)
+    @pytest.mark.parametrize("name", ["powerlaw-trees", "deep-trees"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_suite(self, name, mis, seed):
+        problem = build_workload(name, 30, seed=seed)
+        ref, inc = both_engines(
+            solve_unit_trees, problem, epsilon=0.2, mis=mis, seed=seed
+        )
+        assert_reports_identical(ref, inc)
+
+    @pytest.mark.parametrize("decomposition", ["balancing", "root_fixing"])
+    def test_ablation_decompositions(self, decomposition):
+        problem = build_workload("powerlaw-trees", 24, seed=5)
+        ref, inc = both_engines(
+            solve_unit_trees, problem, epsilon=0.2, mis="greedy", seed=5,
+            decomposition=decomposition,
+        )
+        assert_reports_identical(ref, inc)
+
+
+class TestUnitLines:
+    @pytest.mark.parametrize("mis", ORACLES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_wide_vod(self, mis, seed):
+        # Wide instances run the unit-height algorithm verbatim
+        # (edge-disjointness is the right relaxation, Section 6).
+        problem = build_workload("wide-vod-lines", 20, seed=seed)
+        ref, inc = both_engines(
+            solve_unit_lines, problem, epsilon=0.2, mis=mis, seed=seed,
+            allow_heights=True,
+        )
+        assert_reports_identical(ref, inc)
+
+
+class TestNarrowAlgorithms:
+    @pytest.mark.parametrize("mis", ORACLES)
+    def test_narrow_trees(self, mis):
+        problem = random_tree_problem(
+            random_forest(20, 2, seed=3), m=14, seed=4,
+            height_profile="narrow", hmin=0.2,
+        )
+        ref, inc = both_engines(
+            solve_narrow_trees, problem, epsilon=0.25, mis=mis, seed=3
+        )
+        assert_reports_identical(ref, inc)
+
+    @pytest.mark.parametrize("mis", ORACLES)
+    def test_narrow_lines(self, mis):
+        problem = build_workload("bursty-lines", 20, seed=2)
+        ref, inc = both_engines(
+            solve_narrow_lines, problem, epsilon=0.3, mis=mis, seed=2
+        )
+        assert_reports_identical(ref, inc)
+
+
+class TestArbitraryHeights:
+    @pytest.mark.parametrize("mis", ORACLES)
+    @pytest.mark.parametrize("name", ["figure2", "sparse-access-forest"])
+    def test_trees(self, name, mis):
+        problem = build_workload(name, 30, seed=6)
+        ref, inc = both_engines(
+            solve_arbitrary_trees, problem, epsilon=0.25, mis=mis, seed=6
+        )
+        assert_reports_identical(ref, inc)
+
+    @pytest.mark.parametrize("mis", ORACLES)
+    @pytest.mark.parametrize("name", ["figure1", "bursty-lines"])
+    def test_lines(self, name, mis):
+        problem = build_workload(name, 20, seed=8)
+        ref, inc = both_engines(
+            solve_arbitrary_lines, problem, epsilon=0.3, mis=mis, seed=8
+        )
+        assert_reports_identical(ref, inc)
+
+
+class TestSequentialAndBaselines:
+    @pytest.mark.parametrize("name", ["figure6", "powerlaw-trees"])
+    def test_sequential(self, name):
+        problem = build_workload(name, 24, seed=9)
+        ref, inc = both_engines(solve_sequential, problem)
+        assert_reports_identical(ref, inc)
+
+    @pytest.mark.parametrize("mis", ORACLES)
+    def test_ps_unit_lines(self, mis):
+        problem = build_workload("wide-vod-lines", 16, seed=10)
+        ref, inc = both_engines(
+            solve_ps_unit_lines, problem, epsilon=0.1, mis=mis, seed=10,
+            allow_heights=True,
+        )
+        assert_reports_identical(ref, inc)
+
+    def test_ps_arbitrary_lines(self):
+        problem = build_workload("bursty-lines", 18, seed=11)
+        ref, inc = both_engines(
+            solve_ps_arbitrary_lines, problem, epsilon=0.1, mis="greedy", seed=11
+        )
+        assert_reports_identical(ref, inc)
+
+
+class TestEngineValidation:
+    def test_unknown_engine_rejected_early(self):
+        problem = scenario("figure6")
+        with pytest.raises(ValueError, match="unknown engine"):
+            solve_unit_trees(problem, engine="warp")
+
+    def test_run_two_phase_rejects_unknown_engine(self):
+        from repro.algorithms.base import tree_layouts
+        from repro.core.dual import UnitRaise
+        from repro.core.framework import run_two_phase
+
+        problem = scenario("figure6")
+        layout, _ = tree_layouts(problem, "ideal")
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_two_phase(
+                problem.instances, layout, UnitRaise(), [0.9], engine="turbo"
+            )
+
+
+class TestWorkSavings:
+    def test_incremental_does_strictly_fewer_checks_at_scale(self):
+        problem = build_workload("bursty-lines", 40, seed=12)
+        ref, inc = both_engines(
+            solve_narrow_lines, problem, epsilon=0.3, mis="greedy", seed=12
+        )
+        assert_reports_identical(ref, inc)
+        assert (
+            inc.result.counters.satisfaction_checks
+            < ref.result.counters.satisfaction_checks
+        )
+        assert ref.result.counters.satisfaction_checks > 0
+        assert inc.result.counters.adjacency_touches > 0

@@ -1,0 +1,170 @@
+"""Property-based invariants of the first-phase engines.
+
+On arbitrary seeded workloads, both engines must uphold the structural
+facts the paper's proofs rest on: every stack batch is an independent
+set of the conflict graph, the second-phase solution is
+capacity-feasible, weak duality certifies ``certified_ratio >= 1``, and
+every raise leaves the raised instance's dual constraint *tight* (the
+property Lemma 3.1's charging argument needs).  A regression test pins
+the progress guard: a non-progressing MIS oracle must abort with an
+error naming the stalled (epoch, stage) after at most ``len(members)``
+steps, not silently loop.
+"""
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import line_layouts, tree_layouts
+from repro.core.dual import DualState, HeightRaise, UnitRaise
+from repro.core.framework import (
+    ENGINES,
+    InstanceLayout,
+    geometric_thresholds,
+    narrow_xi,
+    run_first_phase,
+    run_two_phase,
+    unit_xi,
+)
+from repro.distributed.conflict import build_conflict_graph, is_independent
+from repro.workloads import build_workload, scenario, workload_names
+
+COMMON = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Scale workloads paired with the raise rule / xi their heights allow.
+TREE_UNIT = ("powerlaw-trees", "deep-trees")
+LINE_NARROW = ("bursty-lines",)
+
+
+def run_workload(name, size, seed, engine):
+    """Run the two-phase framework on a registry workload."""
+    problem = build_workload(name, size, seed=seed)
+    if name in TREE_UNIT:
+        layout, _ = tree_layouts(problem, "ideal")
+        rule = UnitRaise()
+        xi = unit_xi(max(layout.critical_set_size, 6))
+    else:
+        layout = line_layouts(problem)
+        rule = HeightRaise()
+        xi = narrow_xi(max(layout.critical_set_size, 3), problem.hmin)
+    thresholds = geometric_thresholds(xi, 0.3)
+    result = run_two_phase(
+        problem.instances, layout, rule, thresholds,
+        mis="greedy", seed=seed, engine=engine,
+    )
+    return problem, rule, result
+
+
+workload_cases = st.tuples(
+    st.sampled_from(TREE_UNIT + LINE_NARROW),
+    st.integers(min_value=6, max_value=30),
+    st.integers(min_value=0, max_value=2_000),
+)
+
+
+class TestStackAndSolution:
+    @given(workload_cases)
+    @settings(**COMMON)
+    def test_stack_batches_are_independent_sets(self, case):
+        name, size, seed = case
+        problem, _, result = run_workload(name, size, seed, "incremental")
+        adj = build_conflict_graph(problem.instances)
+        for batch in result.stack:
+            assert is_independent([d.instance_id for d in batch], adj)
+
+    @given(workload_cases)
+    @settings(**COMMON)
+    def test_solution_capacity_feasible(self, case):
+        name, size, seed = case
+        _, _, result = run_workload(name, size, seed, "incremental")
+        result.solution.verify()
+
+    @given(workload_cases)
+    @settings(**COMMON)
+    def test_certified_ratio_at_least_one(self, case):
+        name, size, seed = case
+        _, _, result = run_workload(name, size, seed, "incremental")
+        # Weak duality: val/lambda >= p(Opt) >= p(S), so the per-run
+        # certificate can never claim better-than-optimal.
+        assert result.certified_ratio >= 1.0 - 1e-9
+
+
+class TestRaisesAreTight:
+    @given(workload_cases)
+    @settings(**COMMON)
+    def test_each_raise_leaves_constraint_tight(self, case):
+        name, size, seed = case
+        _, rule, result = run_workload(name, size, seed, "incremental")
+        replay = DualState(use_height_rule=rule.use_height_rule)
+        for ev in result.events:
+            d = ev.instance
+            if rule.use_alpha:
+                replay.alpha[d.demand_id] = (
+                    replay.alpha.get(d.demand_id, 0.0) + ev.delta
+                )
+            inc = rule.beta_increment(ev.delta, len(ev.critical_edges))
+            for e in ev.critical_edges:
+                replay.beta[e] = replay.beta.get(e, 0.0) + inc
+            assert abs(replay.slack(d)) <= 1e-6 * max(1.0, d.profit), (
+                f"raise {ev.order} left instance {d.instance_id} non-tight"
+            )
+        # The replayed assignment is the run's final dual state.
+        assert replay.alpha == pytest.approx(result.dual.alpha)
+        assert replay.beta == pytest.approx(result.dual.beta)
+
+
+def _stalling_oracle(candidates, adjacency, context=None):
+    """A broken MIS oracle that never selects anything."""
+    return set(), 0
+
+
+class TestProgressGuard:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_stall_aborts_with_epoch_and_stage(self, engine):
+        problem = scenario("figure2-unit")
+        instances = problem.instances
+        layout = InstanceLayout(
+            group_of={d.instance_id: 1 for d in instances},
+            pi={d.instance_id: () for d in instances},
+            n_epochs=1,
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            run_first_phase(
+                instances, layout, UnitRaise(), [0.9], _stalling_oracle,
+                engine=engine,
+            )
+        message = str(excinfo.value)
+        assert "epoch 1" in message
+        assert "stage 1" in message
+        # The guard fires at len(members), not one step late.
+        assert f"exceeded {len(instances)} steps" in message
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_guard_does_not_fire_on_healthy_runs(self, engine):
+        # A real oracle satisfies >= 1 member per step, so even the
+        # worst case (sequential: one raise per step) stays within the
+        # guard.  max_steps_per_stage must respect the bound the guard
+        # enforces.
+        for name in workload_names(scale=True):
+            size = 12
+            problem = build_workload(name, size, seed=1)
+            if name in TREE_UNIT:
+                layout, _ = tree_layouts(problem, "ideal")
+            elif name in LINE_NARROW:
+                layout = line_layouts(problem)
+            else:
+                continue
+            groups = {}
+            for d in problem.instances:
+                groups.setdefault(layout.group_of[d.instance_id], []).append(d)
+            rule = UnitRaise() if name in TREE_UNIT else HeightRaise()
+            result = run_two_phase(
+                problem.instances, layout, rule,
+                geometric_thresholds(0.9, 0.3),
+                mis="greedy", seed=1, engine=engine,
+            )
+            largest_group = max(len(v) for v in groups.values())
+            assert result.counters.max_steps_per_stage <= largest_group

@@ -1,18 +1,29 @@
-"""Tests for workload generators and the paper's worked examples."""
+"""Tests for workload generators, the registry, and the worked examples."""
 import pytest
 
-from repro.core.demand import Demand
+from repro.core.demand import Demand, WindowDemand
 from repro.core.problem import Problem
 from repro.trees.tree import TreeNetwork
 from repro.workloads.demands import random_tree_problem
 from repro.workloads.lines import random_line_problem
+from repro.workloads.random_suite import (
+    REGISTRY,
+    WorkloadSpec,
+    build_workload,
+    bursty_line_problem,
+    get_workload,
+    register_workload,
+    workload_names,
+)
 from repro.workloads.scenarios import (
+    SCENARIOS,
     figure1_problem,
     figure2_network,
     figure2_problem,
     figure6_demand,
     figure6_network,
     figure6_problem,
+    scenario,
 )
 from repro.workloads.trees import SHAPES, random_forest, random_tree, random_tree_edges
 
@@ -124,6 +135,128 @@ class TestLineGenerators:
     def test_access_size(self):
         p = random_line_problem(20, 12, r=3, seed=4, access_size=1)
         assert all(len(nets) == 1 for nets in p.access.values())
+
+
+class TestWorkloadRegistry:
+    def test_scale_workloads_registered(self):
+        assert {"powerlaw-trees", "deep-trees", "bursty-lines",
+                "wide-vod-lines", "sparse-access-forest"} <= set(REGISTRY)
+
+    def test_scenarios_registered_as_fixed(self):
+        for name in SCENARIOS:
+            spec = get_workload(name)
+            assert not spec.scale
+            # Fixed builders ignore (size, seed).
+            a = build_workload(name, 5, seed=1)
+            b = build_workload(name, 99, seed=2)
+            assert len(a.instances) == len(b.instances)
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_all_workloads_build_valid_problems(self, name):
+        problem = build_workload(name, 15, seed=3)
+        assert problem.instances  # expansion produced something
+
+    @pytest.mark.parametrize("name", ["powerlaw-trees", "bursty-lines"])
+    def test_deterministic_under_seed(self, name):
+        a = build_workload(name, 20, seed=4)
+        b = build_workload(name, 20, seed=4)
+        c = build_workload(name, 20, seed=5)
+        key = lambda p: [(d.demand_id, d.profit, d.height) for d in p.demands]
+        assert key(a) == key(b)
+        assert key(a) != key(c)
+
+    def test_scale_grows_with_size(self):
+        for name in workload_names(scale=True):
+            small = build_workload(name, 10, seed=0)
+            large = build_workload(name, 40, seed=0)
+            assert len(large.instances) > len(small.instances)
+
+    def test_kind_tags_match_networks(self):
+        for name in workload_names(kind="line"):
+            problem = build_workload(name, 12, seed=1)
+            assert all(
+                net.is_path_graph() for net in problem.networks.values()
+            )
+
+    def test_height_tags(self):
+        assert all(
+            a.height == 1.0
+            for a in build_workload("powerlaw-trees", 20, seed=2).demands
+        )
+        assert all(
+            a.is_narrow
+            for a in build_workload("bursty-lines", 20, seed=2).demands
+        )
+        assert all(
+            a.is_wide
+            for a in build_workload("wide-vod-lines", 20, seed=2).demands
+        )
+
+    def test_sparse_access_is_single_network(self):
+        problem = build_workload("sparse-access-forest", 15, seed=6)
+        assert len(problem.networks) == 3
+        assert all(len(nets) == 1 for nets in problem.access.values())
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("galaxy-brain")
+        with pytest.raises(ValueError, match="unknown scenario"):
+            scenario("figure99")
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError, match="size must be positive"):
+            build_workload("powerlaw-trees", 0)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload(
+                WorkloadSpec(
+                    name="powerlaw-trees", kind="tree", heights="unit",
+                    description="dup", build=lambda size, seed: None,
+                )
+            )
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind must be"):
+            register_workload(
+                WorkloadSpec(
+                    name="hypercube-special", kind="hypercube", heights="unit",
+                    description="nope", build=lambda size, seed: None,
+                )
+            )
+
+    def test_bad_heights_tag_rejected(self):
+        # Consumers pick raise rules off the heights tag, so typos must
+        # fail loudly at registration.
+        with pytest.raises(ValueError, match="heights must be"):
+            register_workload(
+                WorkloadSpec(
+                    name="typo-heights", kind="tree", heights="naroww",
+                    description="nope", build=lambda size, seed: None,
+                )
+            )
+
+
+class TestBurstyLineGenerator:
+    def test_windows_valid(self):
+        problem = bursty_line_problem(30, 25, r=2, seed=1)
+        for a in problem.demands:
+            assert isinstance(a, WindowDemand)
+            assert 0 <= a.release <= a.deadline <= 29
+            assert a.deadline - a.release + 1 >= a.processing
+
+    def test_releases_cluster_around_bursts(self):
+        problem = bursty_line_problem(
+            100, 60, seed=2, n_bursts=2, burst_spread=2
+        )
+        releases = sorted(a.release for a in problem.demands)
+        # With 2 bursts and spread 2, releases occupy <= 2 windows of
+        # width 5 -- far fewer distinct values than a uniform draw.
+        assert len(set(releases)) <= 10
+
+    def test_too_short_timeline_rejected(self):
+        with pytest.raises(ValueError, match="at least 4 slots"):
+            bursty_line_problem(3, 5)
 
 
 class TestFigure1:
