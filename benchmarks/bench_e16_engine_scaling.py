@@ -22,7 +22,7 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from common import table
+from common import emit_json, parse_bench_args, table
 
 from repro.algorithms.base import line_layouts, tree_layouts
 from repro.core.dual import HeightRaise, UnitRaise
@@ -165,9 +165,8 @@ def bench_e16_reference_bursty_lines_200(benchmark):
 
 
 if __name__ == "__main__":
-    args = sys.argv[1:]
-    if args not in ([], ["--quick"]):
-        sys.exit(f"usage: {Path(sys.argv[0]).name} [--quick]")
-    title, out, findings = run_experiment(quick=bool(args))
+    quick, json_path = parse_bench_args(sys.argv[1:], Path(sys.argv[0]).name)
+    title, out, findings = run_experiment(quick=quick)
     print(title, "\n", out, sep="")
     print("speedups at largest size:", findings["speedup_at_largest"])
+    emit_json(json_path, "e16", title, findings)

@@ -14,7 +14,10 @@ table into EXPERIMENTS.md.
 """
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
 
@@ -29,3 +32,47 @@ def experiment_header(exp_id: str, claim: str) -> str:
 def table(headers: Sequence[str], rows: List[Sequence[object]]) -> str:
     """Alias for the analysis table formatter."""
     return format_table(headers, rows)
+
+
+def parse_bench_args(argv: Sequence[str], prog: str) -> Tuple[bool, Optional[str]]:
+    """Parse the shared benchmark CLI: ``[--quick] [--json OUT]``.
+
+    Returns ``(quick, json_path)``; exits with a usage message on
+    anything else.  Kept deliberately tiny (no argparse) so every
+    ``bench_eNN`` script stays runnable as a plain file.
+    """
+    quick = False
+    json_path: Optional[str] = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--quick":
+            quick = True
+        elif arg == "--json":
+            if not args:
+                sys.exit(f"usage: {prog} [--quick] [--json OUT]")
+            json_path = args.pop(0)
+        else:
+            sys.exit(f"usage: {prog} [--quick] [--json OUT]")
+    return quick, json_path
+
+
+def emit_json(
+    json_path: Optional[str],
+    exp_id: str,
+    title: str,
+    findings: Dict[str, object],
+) -> None:
+    """Write a machine-readable ``BENCH_*.json`` record of one run.
+
+    No-op when *json_path* is ``None``, so callers can pass the parsed
+    ``--json`` value through unconditionally.  The record deliberately
+    carries the findings dict verbatim -- every ``run_experiment``
+    already returns its headline numbers there -- so perf trajectories
+    can be scraped without parsing tables.
+    """
+    if json_path is None:
+        return
+    record = {"experiment": exp_id, "title": title, "findings": findings}
+    Path(json_path).write_text(json.dumps(record, indent=2, default=str) + "\n")
+    print(f"wrote {json_path}")

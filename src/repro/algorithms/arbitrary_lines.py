@@ -27,6 +27,7 @@ def solve_narrow_lines(
     hmin: Optional[float] = None,
     xi: Optional[float] = None,
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> AlgorithmReport:
     """Narrow-instance algorithm on lines (Section 7, arbitrary heights)."""
     validate_engine(engine)
@@ -41,7 +42,7 @@ def solve_narrow_lines(
     thresholds = geometric_thresholds(xi, epsilon)
     result = run_two_phase(
         problem.instances, layout, HeightRaise(), thresholds, mis=mis, seed=seed,
-        engine=engine,
+        engine=engine, workers=workers,
     )
     guarantee = (2 * delta * delta + 1) / result.slackness
     return AlgorithmReport(
@@ -59,25 +60,28 @@ def solve_arbitrary_lines(
     mis: str = "luby",
     seed: int = 0,
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> AlgorithmReport:
     """Run the Theorem 7.2 algorithm on a line-network problem."""
     validate_engine(engine)
     if not problem.has_wide:
         return solve_narrow_lines(
-            problem, epsilon=epsilon, mis=mis, seed=seed, engine=engine
+            problem, epsilon=epsilon, mis=mis, seed=seed, engine=engine,
+            workers=workers,
         )
     if not problem.has_narrow:
         return solve_unit_lines(
             problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
-            engine=engine,
+            engine=engine, workers=workers,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_unit_lines(
         wide_problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
-        engine=engine,
+        engine=engine, workers=workers,
     )
     narrow = solve_narrow_lines(
-        narrow_problem, epsilon=epsilon, mis=mis, seed=seed, engine=engine
+        narrow_problem, epsilon=epsilon, mis=mis, seed=seed, engine=engine,
+        workers=workers,
     )
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)

@@ -15,6 +15,8 @@ factors: ``80 + eps``.
 """
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.algorithms.base import AlgorithmReport, validate_engine
 from repro.algorithms.narrow_trees import solve_narrow_trees
 from repro.algorithms.unit_trees import solve_unit_trees
@@ -29,13 +31,14 @@ def solve_arbitrary_trees(
     seed: int = 0,
     decomposition: str = "ideal",
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> AlgorithmReport:
     """Run the Theorem 6.3 algorithm on *problem* (any heights)."""
     validate_engine(engine)
     if not problem.has_wide:
         return solve_narrow_trees(
             problem, epsilon=epsilon, mis=mis, seed=seed,
-            decomposition=decomposition, engine=engine,
+            decomposition=decomposition, engine=engine, workers=workers,
         )
     if not problem.has_narrow:
         return solve_unit_trees(
@@ -46,6 +49,7 @@ def solve_arbitrary_trees(
             decomposition=decomposition,
             allow_heights=True,
             engine=engine,
+            workers=workers,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_unit_trees(
@@ -56,10 +60,11 @@ def solve_arbitrary_trees(
         decomposition=decomposition,
         allow_heights=True,
         engine=engine,
+        workers=workers,
     )
     narrow = solve_narrow_trees(
         narrow_problem, epsilon=epsilon, mis=mis, seed=seed,
-        decomposition=decomposition, engine=engine,
+        decomposition=decomposition, engine=engine, workers=workers,
     )
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)

@@ -10,7 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.framework import ENGINES, InstanceLayout, TwoPhaseResult
+from repro.core.framework import (
+    ENGINES,
+    InstanceLayout,
+    TwoPhaseResult,
+    validate_engine as _validate_engine,
+)
 from repro.core.problem import Problem
 from repro.core.solution import Solution
 from repro.lines.layered import layered_by_length
@@ -35,11 +40,11 @@ def validate_engine(engine: str) -> str:
     Every ``solve_*`` entry point accepts ``engine=`` and passes it to
     :func:`repro.core.framework.run_two_phase`; validating here gives
     composite algorithms (wide/narrow splits) one error site instead of
-    failing halfway through the first sub-run.
+    failing halfway through the first sub-run.  Delegates to
+    :func:`repro.core.framework.validate_engine`, the single source of
+    truth for the engine registry and its error message.
     """
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
-    return engine
+    return _validate_engine(engine)
 
 
 @dataclass

@@ -28,6 +28,7 @@ def solve_narrow_trees(
     hmin: Optional[float] = None,
     xi: Optional[float] = None,
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> AlgorithmReport:
     """Run the Lemma 6.2 narrow-instance algorithm on *problem*.
 
@@ -48,7 +49,7 @@ def solve_narrow_trees(
     thresholds = geometric_thresholds(xi, epsilon)
     result = run_two_phase(
         problem.instances, layout, HeightRaise(), thresholds, mis=mis, seed=seed,
-        engine=engine,
+        engine=engine, workers=workers,
     )
     guarantee = (2 * delta * delta + 1) / result.slackness
     return AlgorithmReport(

@@ -39,6 +39,7 @@ def solve_sequential(
     problem: Problem,
     use_alpha: Optional[bool] = None,
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> AlgorithmReport:
     """Run the Appendix A sequential algorithm.
 
@@ -89,7 +90,7 @@ def solve_sequential(
     # One epoch per network, single stage with threshold 1 (lambda = 1).
     dual, stack, events, counters = run_first_phase(
         instances, layout, UnitRaise(use_alpha=use_alpha), [1.0], sequential_pick,
-        engine=engine,
+        engine=engine, workers=workers,
     )
     solution = run_second_phase(stack)
     counters.phase2_rounds = len(stack)

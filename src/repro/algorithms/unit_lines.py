@@ -29,6 +29,7 @@ def solve_unit_lines(
     allow_heights: bool = False,
     xi: Optional[float] = None,
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> AlgorithmReport:
     """Run the Theorem 7.1 algorithm on a line-network problem."""
     validate_engine(engine)
@@ -44,7 +45,7 @@ def solve_unit_lines(
     thresholds = geometric_thresholds(xi, epsilon)
     result = run_two_phase(
         problem.instances, layout, UnitRaise(), thresholds, mis=mis, seed=seed,
-        engine=engine,
+        engine=engine, workers=workers,
     )
     guarantee = (delta + 1) / result.slackness
     return AlgorithmReport(

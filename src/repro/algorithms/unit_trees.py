@@ -28,6 +28,7 @@ def solve_unit_trees(
     allow_heights: bool = False,
     xi: Optional[float] = None,
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> AlgorithmReport:
     """Run the Theorem 5.3 algorithm on *problem*.
 
@@ -49,7 +50,10 @@ def solve_unit_trees(
         Override the stage ratio (defaults to ``2(Delta+1)/(2(Delta+1)+1)``
         for the realized ``Delta``, i.e. ``14/15`` when ``Delta = 6``).
     engine:
-        First-phase engine, ``'reference'`` or ``'incremental'``.
+        First-phase engine: ``'reference'``, ``'incremental'`` or
+        ``'parallel'``.
+    workers:
+        Thread-pool size for ``engine='parallel'`` (default: cores).
     """
     validate_engine(engine)
     if not allow_heights and not problem.is_unit_height:
@@ -64,7 +68,7 @@ def solve_unit_trees(
     thresholds = geometric_thresholds(xi, epsilon)
     result = run_two_phase(
         problem.instances, layout, UnitRaise(), thresholds, mis=mis, seed=seed,
-        engine=engine,
+        engine=engine, workers=workers,
     )
     guarantee = (delta + 1) / result.slackness
     return AlgorithmReport(

@@ -18,6 +18,8 @@ compare.
 """
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.algorithms.base import AlgorithmReport, line_layouts, validate_engine
 from repro.core.dual import HeightRaise, UnitRaise
 from repro.core.framework import run_two_phase
@@ -35,6 +37,7 @@ def solve_ps_unit_lines(
     seed: int = 0,
     allow_heights: bool = False,
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> AlgorithmReport:
     """The PS unit-height line algorithm (single stage, lambda=1/(5+eps))."""
     validate_engine(engine)
@@ -44,7 +47,7 @@ def solve_ps_unit_lines(
     lambda0 = 1.0 / (5.0 + epsilon)
     result = run_two_phase(
         problem.instances, layout, UnitRaise(), [lambda0], mis=mis, seed=seed,
-        engine=engine,
+        engine=engine, workers=workers,
     )
     delta = max(layout.critical_set_size, 1)
     return AlgorithmReport(
@@ -62,22 +65,23 @@ def solve_ps_arbitrary_lines(
     mis: str = "luby",
     seed: int = 0,
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> AlgorithmReport:
     """The PS arbitrary-height line algorithm (wide/narrow combination)."""
     validate_engine(engine)
     if not problem.has_wide:
-        return _ps_narrow(problem, epsilon, mis, seed, engine)
+        return _ps_narrow(problem, epsilon, mis, seed, engine, workers)
     if not problem.has_narrow:
         return solve_ps_unit_lines(
             problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
-            engine=engine,
+            engine=engine, workers=workers,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_ps_unit_lines(
         wide_problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
-        engine=engine,
+        engine=engine, workers=workers,
     )
-    narrow = _ps_narrow(narrow_problem, epsilon, mis, seed, engine)
+    narrow = _ps_narrow(narrow_problem, epsilon, mis, seed, engine, workers)
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)
     )
@@ -92,14 +96,14 @@ def solve_ps_arbitrary_lines(
 
 def _ps_narrow(
     problem: Problem, epsilon: float, mis: str, seed: int,
-    engine: str = "reference",
+    engine: str = "reference", workers: Optional[int] = None,
 ) -> AlgorithmReport:
     """PS narrow side: height raise rule, single-stage threshold."""
     layout = line_layouts(problem)
     lambda0 = 1.0 / (5.0 + epsilon)
     result = run_two_phase(
         problem.instances, layout, HeightRaise(), [lambda0], mis=mis, seed=seed,
-        engine=engine,
+        engine=engine, workers=workers,
     )
     delta = max(layout.critical_set_size, 1)
     return AlgorithmReport(

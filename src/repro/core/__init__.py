@@ -12,7 +12,9 @@ from repro.core.framework import (
     run_second_phase,
     run_two_phase,
     unit_xi,
+    validate_engine,
 )
+from repro.core.plan import EpochPlan
 from repro.core.problem import Problem, ProblemError
 from repro.core.solution import (
     CapacityLedger,
@@ -30,6 +32,7 @@ __all__ = [
     "ENGINES",
     "EPS",
     "EdgeKey",
+    "EpochPlan",
     "HeightRaise",
     "InfeasibleSolutionError",
     "InstanceLayout",
@@ -49,4 +52,5 @@ __all__ = [
     "run_second_phase",
     "run_two_phase",
     "unit_xi",
+    "validate_engine",
 ]

@@ -1,0 +1,39 @@
+"""The interchangeable first-phase engines.
+
+``reference`` is the executable specification (the literal Figure 7
+loop), ``incremental`` the dirty-set production engine, ``parallel`` the
+plan-driven wave executor.  All three produce bit-identical semantic
+artifacts; :mod:`repro.core.framework` is the stable facade that selects
+between them.
+"""
+from repro.core.engines.artifacts import (
+    FirstPhaseArtifacts,
+    InstanceLayout,
+    PhaseCounters,
+    group_members,
+    stall_error,
+)
+from repro.core.engines.incremental import (
+    run_epoch_incremental,
+    run_first_phase_incremental,
+)
+from repro.core.engines.parallel import (
+    ParallelEpochExecutor,
+    default_workers,
+    run_first_phase_parallel,
+)
+from repro.core.engines.reference import run_first_phase_reference
+
+__all__ = [
+    "FirstPhaseArtifacts",
+    "InstanceLayout",
+    "ParallelEpochExecutor",
+    "PhaseCounters",
+    "default_workers",
+    "group_members",
+    "run_epoch_incremental",
+    "run_first_phase_incremental",
+    "run_first_phase_parallel",
+    "run_first_phase_reference",
+    "stall_error",
+]

@@ -1,0 +1,176 @@
+"""The incremental (dirty-set) first-phase engine.
+
+Semantically identical to the reference engine, but maintains a
+per-(epoch, stage) *unsatisfied* set updated via dirty-sets; see
+:func:`run_first_phase_incremental` for the correctness argument.
+
+The per-epoch loop body lives in :func:`run_epoch_incremental` so the
+parallel engine (:mod:`repro.core.engines.parallel`) can execute exactly
+the same epoch computation over plan-sliced state: given equal inputs
+(members, dual values visible to the epoch, index, adjacency restricted
+to the members, oracle draws) it produces bit-identical events, stack
+batches and counter increments.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.demand import DemandInstance
+from repro.core.dual import DualState, RaiseEvent, RaiseRule
+from repro.core.engines.artifacts import (
+    FirstPhaseArtifacts,
+    InstanceLayout,
+    PhaseCounters,
+    group_members,
+    stall_error,
+)
+from repro.core.types import InstanceId
+from repro.distributed.conflict import (
+    ConflictAdjacency,
+    InstanceIndex,
+    build_instance_index,
+)
+from repro.distributed.mis import MISOracle
+
+
+def run_epoch_incremental(
+    epoch: int,
+    members: Sequence[DemandInstance],
+    by_id: Mapping[InstanceId, DemandInstance],
+    dual: DualState,
+    index: InstanceIndex,
+    conflict_adj: ConflictAdjacency,
+    layout: InstanceLayout,
+    raise_rule: RaiseRule,
+    thresholds: Sequence[float],
+    mis_oracle: MISOracle,
+    events: List[RaiseEvent],
+    stack: List[List[DemandInstance]],
+    counters: PhaseCounters,
+    order: int,
+) -> int:
+    """Run one epoch of the dirty-set engine; returns the next raise order.
+
+    ``index`` may be the global instance index or one restricted to
+    *members*: dirty sets are always intersected with the member LHS
+    cache, so both give identical behaviour (the restricted one is just
+    cheaper -- that is the parallel engine's slicing win).  Likewise
+    ``conflict_adj`` may be global or member-restricted: the active-set
+    view intersects neighbor sets with the unsatisfied members anyway.
+    """
+    # LHS cache, one full evaluation per member per epoch; afterwards
+    # entries are recomputed only when their instance is dirty.
+    lhs_of: Dict[InstanceId, float] = {}
+    for d in members:
+        counters.satisfaction_checks += 1
+        lhs_of[d.instance_id] = dual.lhs(d)
+    for stage_no, tau in enumerate(thresholds, start=1):
+        counters.stages += 1
+        # Stage boundary: tau rose; re-derive the unsatisfied set from
+        # the cache (same predicate as DualState.is_satisfied).
+        unsat = {
+            d.instance_id
+            for d in members
+            if not DualState.lhs_satisfies(lhs_of[d.instance_id], d.profit, tau)
+        }
+        if not unsat:
+            continue
+        # Active-set view of the conflict graph, built once per stage
+        # and shrunk in place as instances satisfy.
+        active_adj: ConflictAdjacency = {}
+        for i in unsat:
+            active_adj[i] = conflict_adj[i] & unsat
+            counters.adjacency_touches += 1 + len(conflict_adj[i])
+        step = 0
+        while unsat:
+            step += 1
+            if step > len(members):  # each step must satisfy >= 1 member
+                raise stall_error(epoch, stage_no, len(members))
+            candidates = [by_id[i] for i in sorted(unsat)]
+            mis_ids, rounds = mis_oracle(
+                candidates, active_adj, (epoch, stage_no, step)
+            )
+            counters.mis_rounds += rounds
+            chosen = [by_id[i] for i in sorted(mis_ids)]
+            dirty: set = set()
+            for d in chosen:
+                delta = raise_rule.apply(dual, d, layout.pi[d.instance_id])
+                events.append(
+                    RaiseEvent(
+                        order=order,
+                        instance=d,
+                        delta=delta,
+                        critical_edges=layout.pi[d.instance_id],
+                        step_tuple=(epoch, stage_no, step),
+                    )
+                )
+                order += 1
+                counters.raises += 1
+                dirty.add(d.instance_id)
+                dirty |= index.affected_by(d.demand_id, layout.pi[d.instance_id])
+            stack.append(chosen)
+            counters.steps += 1
+            # Refresh the cache for dirty group members and retire the
+            # ones that became tau-satisfied.
+            newly_satisfied = []
+            for i in sorted(dirty & lhs_of.keys()):
+                d = by_id[i]
+                counters.satisfaction_checks += 1
+                lhs = dual.lhs(d)
+                lhs_of[i] = lhs
+                if i in unsat and DualState.lhs_satisfies(lhs, d.profit, tau):
+                    newly_satisfied.append(i)
+            for i in newly_satisfied:
+                unsat.discard(i)
+                nbrs = active_adj.pop(i)
+                counters.adjacency_touches += 1 + len(nbrs)
+                for nb in nbrs:
+                    if nb in active_adj:
+                        active_adj[nb].discard(i)
+        counters.max_steps_per_stage = max(counters.max_steps_per_stage, step)
+    return order
+
+
+def run_first_phase_incremental(
+    instances: Sequence[DemandInstance],
+    layout: InstanceLayout,
+    raise_rule: RaiseRule,
+    thresholds: Sequence[float],
+    mis_oracle: MISOracle,
+    conflict_adj: ConflictAdjacency,
+) -> FirstPhaseArtifacts:
+    """Dirty-set engine: same semantics, incremental satisfaction state.
+
+    Correctness rests on two facts.  (1) The LHS of an instance's dual
+    constraint changes only when some neighbor's raise touches it: a
+    raise on ``d`` moves ``alpha`` only for demand ``a_d`` and ``beta``
+    only on ``pi(d)``, so the instances whose LHS moved (the *dirty
+    set*) are exactly what :class:`InstanceIndex` returns.  (2) Raises
+    only *increase* LHS values, so within one (epoch, stage) a satisfied
+    instance stays satisfied -- only dirty instances can change status.
+
+    Together these let the engine cache each member's LHS (recomputed
+    only when dirty) so the ``tau``-satisfaction test is a cached float
+    comparison, and maintain the per-stage *unsatisfied* set plus an
+    active-set adjacency view that shrinks in place as instances
+    satisfy, replacing the reference engine's per-step full rescan and
+    ``restrict()`` rebuild.
+    """
+    dual = DualState(use_height_rule=raise_rule.use_height_rule)
+    by_id = {d.instance_id: d for d in instances}
+    index = build_instance_index(instances)
+    groups = group_members(instances, layout)
+    events: List[RaiseEvent] = []
+    stack: List[List[DemandInstance]] = []
+    counters = PhaseCounters()
+    order = 0
+    for epoch in range(1, layout.n_epochs + 1):
+        members = groups.get(epoch, [])
+        counters.epochs += 1
+        if not members:
+            continue
+        order = run_epoch_incremental(
+            epoch, members, by_id, dual, index, conflict_adj, layout,
+            raise_rule, thresholds, mis_oracle, events, stack, counters, order,
+        )
+    return dual, stack, events, counters

@@ -1,0 +1,279 @@
+"""The parallel first-phase engine: plan -> execute -> merge.
+
+Executes the epoch waves of an :class:`~repro.core.plan.EpochPlan`
+concurrently (a ``concurrent.futures`` thread pool, ``workers=`` knob)
+and deterministically merges the per-epoch artifacts back into the
+sequential epoch order, so the result is **bit-identical** to
+``engine="incremental"``:
+
+* Each epoch job runs :func:`~repro.core.engines.incremental.run_epoch_incremental`
+  -- the exact incremental loop body -- over *plan-sliced* state: the
+  epoch's members, its member-restricted conflict adjacency and reverse
+  index, and a local :class:`~repro.core.dual.DualState` primed with the
+  master dual values its members can read (``alpha`` of member demands,
+  ``beta`` on member path edges).
+* Epochs in one wave share no path edge and no demand, so their dual
+  reads/writes are disjoint: each job sees exactly the dual assignment
+  the sequential engine would have shown it, and the per-wave merge
+  (applied in epoch order) reproduces the sequential float arithmetic
+  exactly.
+* Events are renumbered and stacks concatenated in epoch order;
+  counters are summed (``max_steps_per_stage`` maxed).  Only the
+  worker-attribution fields (``wavefronts``, ``workers_used``) and the
+  work meters (``satisfaction_checks``, ``adjacency_touches`` -- the
+  sliced state legitimately touches fewer entries) differ from the
+  incremental engine.
+
+Determinism does not depend on thread scheduling: wave membership is
+data-dependent only, per-epoch jobs are sealed off from each other, and
+every merge walks epochs in ascending order.  The bundled MIS oracles
+are safe to share across epoch threads (``greedy`` and ``hash`` are
+stateless; ``luby`` keeps one independent substream per epoch).  A
+custom oracle must likewise not share mutable state across epochs.
+"""
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.demand import DemandInstance
+from repro.core.dual import DualState, RaiseEvent, RaiseRule
+from repro.core.engines.artifacts import (
+    FirstPhaseArtifacts,
+    InstanceLayout,
+    PhaseCounters,
+)
+from repro.core.engines.incremental import run_epoch_incremental
+from repro.core.plan import EpochPlan
+from repro.core.types import DemandId, EdgeKey
+from repro.distributed.conflict import ConflictAdjacency
+from repro.distributed.mis import MISOracle
+
+#: Default worker-pool size: the machine's cores, capped (epoch waves are
+#: rarely wider than this, and thread ramp-up isn't free).
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_workers() -> int:
+    """The ``workers=None`` resolution used by the parallel engine."""
+    return max(1, min(MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
+
+
+#: Process-wide executor cache, one pool per worker count.  Thread
+#: start-up costs a few hundred microseconds -- comparable to a whole
+#: small first phase -- so pools are kept warm across runs.  Pools are
+#: never shut down explicitly; ``concurrent.futures`` wakes idle workers
+#: at interpreter exit.
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+
+
+def _shared_pool(workers: int) -> ThreadPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _POOLS.setdefault(
+            workers,
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-epoch"
+            ),
+        )
+    return pool
+
+
+@dataclass
+class _EpochOutcome:
+    """Everything one epoch job produced, pending the ordered merge."""
+
+    epoch: int
+    events: List[RaiseEvent]
+    stack: List[List[DemandInstance]]
+    counters: PhaseCounters
+    alpha_writes: Dict[DemandId, float]
+    beta_writes: Dict[EdgeKey, float]
+
+
+class ParallelEpochExecutor:
+    """Runs a first phase as planned epoch waves over a thread pool."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = default_workers()
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ValueError(f"workers must be a positive integer, got {workers!r}")
+        self.workers = workers
+
+    def run(
+        self,
+        instances: Sequence[DemandInstance],
+        layout: InstanceLayout,
+        raise_rule: RaiseRule,
+        thresholds: Sequence[float],
+        mis_oracle: MISOracle,
+        conflict_adj: Optional[ConflictAdjacency] = None,
+        plan: Optional[EpochPlan] = None,
+    ) -> FirstPhaseArtifacts:
+        """Execute the first phase; artifacts match ``engine="incremental"``."""
+        if plan is None:
+            plan = EpochPlan.build(instances, layout, conflict_adj)
+        master = DualState(use_height_rule=raise_rule.use_height_rule)
+        outcomes: Dict[int, _EpochOutcome] = {}
+
+        def job(epochs: Sequence[int]) -> List[_EpochOutcome]:
+            return [
+                self._run_epoch(
+                    epoch, plan, master, layout, raise_rule, thresholds, mis_oracle
+                )
+                for epoch in epochs
+            ]
+
+        for wave in plan.waves:
+            runnable = [k for k in wave if plan.members.get(k)]
+            if len(runnable) > 1 and self.workers > 1:
+                # Chunk the wave into at most `workers` jobs; the calling
+                # thread executes the first chunk itself (caller-runs), so
+                # a wave costs at most workers-1 future dispatches.
+                n_chunks = min(self.workers, len(runnable))
+                chunks = [runnable[c::n_chunks] for c in range(n_chunks)]
+                pool = _shared_pool(self.workers)
+                futures = [pool.submit(job, chunk) for chunk in chunks[1:]]
+                done = job(chunks[0])
+                for fut in futures:
+                    done.extend(fut.result())
+                for out in done:
+                    outcomes[out.epoch] = out
+            else:
+                for out in job(runnable):
+                    outcomes[out.epoch] = out
+            # The master dual is frozen while a wave runs; merge the
+            # wave's (disjoint) writes afterwards, in epoch order.
+            for k in sorted(runnable):
+                master.alpha.update(outcomes[k].alpha_writes)
+                master.beta.update(outcomes[k].beta_writes)
+        return self._merge(plan, layout, master, outcomes)
+
+    def _run_epoch(
+        self,
+        epoch: int,
+        plan: EpochPlan,
+        master: DualState,
+        layout: InstanceLayout,
+        raise_rule: RaiseRule,
+        thresholds: Sequence[float],
+        mis_oracle: MISOracle,
+    ) -> _EpochOutcome:
+        """Run one epoch over sealed, plan-sliced state."""
+        members = plan.members[epoch]
+        by_id = {d.instance_id: d for d in members}
+        local = DualState(use_height_rule=raise_rule.use_height_rule)
+        # Prime the local dual with every master value the epoch can
+        # read.  Only keys *shared* with other epochs can carry inherited
+        # values -- everything else the epoch touches is private to it --
+        # so the scan is over the plan's (typically tiny) shared-key sets
+        # rather than all member path edges.  The first wave always sees
+        # an empty master and skips even that.
+        primed_alpha: Dict[DemandId, float] = {}
+        primed_beta: Dict[EdgeKey, float] = {}
+        if master.alpha or master.beta:
+            for a in plan.shared_demands[epoch]:
+                if a in master.alpha:
+                    primed_alpha[a] = local.alpha[a] = master.alpha[a]
+            for e in plan.shared_edges[epoch]:
+                if e in master.beta:
+                    primed_beta[e] = local.beta[e] = master.beta[e]
+        events: List[RaiseEvent] = []
+        stack: List[List[DemandInstance]] = []
+        counters = PhaseCounters()
+        run_epoch_incremental(
+            epoch, members, by_id, local, plan.index[epoch],
+            plan.adjacency[epoch], layout, raise_rule, thresholds,
+            mis_oracle, events, stack, counters, order=0,
+        )
+        if primed_alpha:
+            alpha_writes = {
+                k: v for k, v in local.alpha.items()
+                if k not in primed_alpha or primed_alpha[k] != v
+            }
+        else:
+            alpha_writes = local.alpha
+        if primed_beta:
+            beta_writes = {
+                k: v for k, v in local.beta.items()
+                if k not in primed_beta or primed_beta[k] != v
+            }
+        else:
+            beta_writes = local.beta
+        return _EpochOutcome(epoch, events, stack, counters, alpha_writes, beta_writes)
+
+    def _merge(
+        self,
+        plan: EpochPlan,
+        layout: InstanceLayout,
+        master: DualState,
+        outcomes: Dict[int, _EpochOutcome],
+    ) -> FirstPhaseArtifacts:
+        """Reassemble artifacts in sequential epoch order.
+
+        The master dual accumulated its writes in *wave* order, but dict
+        iteration order is insertion order and ``DualState.value()`` sums
+        the values in that order -- float addition is not associative, so
+        the sequential engines' epoch-major key order must be reproduced
+        exactly.  Replaying the per-epoch writes into a fresh dual in
+        ascending epoch order recreates it: a key keeps the position of
+        the first epoch that wrote it (later writes only overwrite the
+        value), which is precisely when the incremental engine would have
+        created it.
+        """
+        final = DualState(use_height_rule=master.use_height_rule)
+        for epoch in sorted(outcomes):
+            final.alpha.update(outcomes[epoch].alpha_writes)
+            final.beta.update(outcomes[epoch].beta_writes)
+        events: List[RaiseEvent] = []
+        stack: List[List[DemandInstance]] = []
+        counters = PhaseCounters(
+            epochs=layout.n_epochs,
+            wavefronts=plan.n_waves,
+            workers_used=self.workers,
+        )
+        order = 0
+        for epoch in sorted(outcomes):
+            out = outcomes[epoch]
+            for ev in out.events:
+                # The event objects are exclusively ours (created by this
+                # run's epoch jobs), so renumbering them in place is safe
+                # and much cheaper than dataclasses.replace on every event.
+                # The first epoch's events are already numbered from 0.
+                if ev.order != order:
+                    object.__setattr__(ev, "order", order)
+                events.append(ev)
+                order += 1
+            stack.extend(out.stack)
+            c = out.counters
+            counters.stages += c.stages
+            counters.steps += c.steps
+            counters.raises += c.raises
+            counters.mis_rounds += c.mis_rounds
+            counters.satisfaction_checks += c.satisfaction_checks
+            counters.adjacency_touches += c.adjacency_touches
+            counters.max_steps_per_stage = max(
+                counters.max_steps_per_stage, c.max_steps_per_stage
+            )
+        return final, stack, events, counters
+
+
+def run_first_phase_parallel(
+    instances: Sequence[DemandInstance],
+    layout: InstanceLayout,
+    raise_rule: RaiseRule,
+    thresholds: Sequence[float],
+    mis_oracle: MISOracle,
+    conflict_adj: Optional[ConflictAdjacency] = None,
+    workers: Optional[int] = None,
+    plan: Optional[EpochPlan] = None,
+) -> FirstPhaseArtifacts:
+    """Engine entry point matching the reference/incremental signatures."""
+    executor = ParallelEpochExecutor(workers=workers)
+    return executor.run(
+        instances, layout, raise_rule, thresholds, mis_oracle,
+        conflict_adj=conflict_adj, plan=plan,
+    )

@@ -21,13 +21,16 @@ Lemma 6.1 follow from the interference property of the layout.
 Engines
 -------
 
-Two interchangeable first-phase engines sit behind the ``engine=``
-switch of :func:`run_two_phase` / :func:`run_first_phase`:
+This module is the stable facade over the engine implementations in
+:mod:`repro.core.engines`; three interchangeable first-phase engines sit
+behind the ``engine=`` switch of :func:`run_two_phase` /
+:func:`run_first_phase`:
 
 * ``engine="reference"`` (default) -- the literal Figure 7 loop: every
   step rescans all group members for ``tau``-satisfaction and rebuilds
   the restricted conflict graph from scratch, ``O(steps x group^2)``
-  work per stage.  It is the executable specification.
+  work per stage.  It is the executable specification
+  (:mod:`repro.core.engines.reference`).
 * ``engine="incremental"`` -- semantically identical, but maintains a
   per-(epoch, stage) *unsatisfied* set updated via dirty-sets: a dual
   raise on instance ``d`` moves ``alpha`` only for demand ``a_d`` and
@@ -37,69 +40,58 @@ switch of :func:`run_two_phase` / :func:`run_first_phase`:
   raises only increase constraint LHS values, satisfaction is monotone
   within a stage and the set never needs a full rescan until the next
   threshold.  The per-step ``restrict()`` rebuild is replaced by an
-  active-set adjacency view that shrinks as instances satisfy.
+  active-set adjacency view that shrinks as instances satisfy
+  (:mod:`repro.core.engines.incremental`).
+* ``engine="parallel"`` -- the plan -> execute -> merge engine
+  (:mod:`repro.core.engines.parallel`): an
+  :class:`~repro.core.plan.EpochPlan` partitions the epochs into
+  *waves* of epochs that share no path edge and no demand, each wave
+  runs concurrently over per-epoch incremental state (``workers=``
+  knob), and the per-epoch artifacts are merged back in epoch order.
 
-Both engines produce bit-identical artifacts (solutions, raise events,
+All engines produce bit-identical artifacts (solutions, raise events,
 stacks, schedule counters) for the bundled MIS oracles; the golden
 equivalence suite in ``tests/test_engine_equivalence.py`` enforces
 this.  :class:`PhaseCounters` exposes ``satisfaction_checks`` and
 ``adjacency_touches`` so the asymptotic win is measurable (see
-``benchmarks/bench_e16_engine_scaling.py``).
+``benchmarks/bench_e16_engine_scaling.py`` and
+``benchmarks/bench_e17_parallel_epochs.py``).
 """
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.demand import DemandInstance
 from repro.core.dual import DualState, RaiseEvent, RaiseRule
-from repro.core.solution import CapacityLedger, Solution
-from repro.core.types import EdgeKey, InstanceId
-from repro.distributed.conflict import (
-    ConflictAdjacency,
-    build_conflict_graph,
-    build_instance_index,
-    restrict,
+from repro.core.engines import (
+    FirstPhaseArtifacts,
+    InstanceLayout,
+    PhaseCounters,
+    run_first_phase_incremental,
+    run_first_phase_parallel,
+    run_first_phase_reference,
 )
+from repro.core.result import TwoPhaseResult
+from repro.core.solution import CapacityLedger, Solution
+from repro.distributed.conflict import ConflictAdjacency, build_conflict_graph
 from repro.distributed.mis import MISOracle, make_mis_oracle
-from repro.trees.layered import LayeredDecomposition
 
 #: The interchangeable first-phase engines (see the module docstring).
-ENGINES = ("reference", "incremental")
+ENGINES = ("reference", "incremental", "parallel")
 
 
-@dataclass
-class InstanceLayout:
-    """Group index and critical edges for every instance of a problem.
+def validate_engine(engine: str) -> str:
+    """Validate a first-phase engine name (the single source of truth).
 
-    ``group_of`` is 1-based; epoch ``k`` of the first phase processes the
-    union ``Gk`` of the ``k``-th groups of all per-network layered
-    decompositions (Figure 7).
+    Everything that accepts ``engine=`` -- the ``solve_*`` entry points
+    via :func:`repro.algorithms.base.validate_engine`, and
+    :func:`run_first_phase` itself -- funnels through this check, so the
+    engine registry and its error message live in exactly one place.
     """
-
-    group_of: Dict[InstanceId, int]
-    pi: Dict[InstanceId, Tuple[EdgeKey, ...]]
-    n_epochs: int
-
-    @property
-    def critical_set_size(self) -> int:
-        """``Delta``: the largest critical set over all instances."""
-        if not self.pi:
-            return 0
-        return max(len(p) for p in self.pi.values())
-
-    @staticmethod
-    def from_layered(decompositions: Iterable[LayeredDecomposition]) -> "InstanceLayout":
-        """Merge per-network layered decompositions (``Gk = U_q G(q)_k``)."""
-        group_of: Dict[InstanceId, int] = {}
-        pi: Dict[InstanceId, Tuple[EdgeKey, ...]] = {}
-        n_epochs = 0
-        for dec in decompositions:
-            group_of.update(dec.group_of)
-            pi.update(dec.pi)
-            n_epochs = max(n_epochs, dec.length)
-        return InstanceLayout(group_of=group_of, pi=pi, n_epochs=n_epochs)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    return engine
 
 
 def geometric_thresholds(xi: float, epsilon: float) -> List[float]:
@@ -140,275 +132,6 @@ def narrow_xi(delta: int, hmin: float) -> float:
     return c / (c + hmin)
 
 
-@dataclass
-class PhaseCounters:
-    """Work and communication accounting for one two-phase run."""
-
-    epochs: int = 0
-    stages: int = 0
-    steps: int = 0
-    raises: int = 0
-    mis_rounds: int = 0
-    #: max steps observed in any single (epoch, stage) -- Lemma 5.1's L.
-    max_steps_per_stage: int = 0
-    #: communication rounds: per step, Time(MIS) + 1 round to broadcast the
-    #: new dual values; phase 2 costs one announcement round per stack entry.
-    phase2_rounds: int = 0
-    #: calls to ``DualState.is_satisfied`` made by the first phase -- the
-    #: reference engine pays steps x group per stage, the incremental
-    #: engine group + dirty-set rechecks.
-    satisfaction_checks: int = 0
-    #: adjacency entries materialized or mutated while preparing each
-    #: step's restricted conflict graph (entry plus neighbor-set size, so
-    #: the number is comparable across engines).
-    adjacency_touches: int = 0
-
-    @property
-    def communication_rounds(self) -> int:
-        """Total synchronous rounds of the simulated distributed run."""
-        return self.mis_rounds + self.steps + self.phase2_rounds
-
-
-@dataclass
-class TwoPhaseResult:
-    """Everything produced by one run of the framework."""
-
-    solution: Solution
-    dual: DualState
-    events: List[RaiseEvent]
-    stack: List[List[DemandInstance]]
-    slackness: float
-    layout: InstanceLayout
-    counters: PhaseCounters
-    thresholds: List[float]
-
-    @property
-    def profit(self) -> float:
-        """``p(S)``."""
-        return self.solution.profit
-
-    @property
-    def certified_upper_bound(self) -> float:
-        """``val(alpha, beta) / lambda >= p(Opt)`` by weak duality."""
-        return self.dual.scaled_value(self.slackness)
-
-    @property
-    def certified_ratio(self) -> float:
-        """Per-run certified approximation factor (``>= Opt/p(S)``)."""
-        if self.profit <= 0:
-            return float("inf")
-        return self.certified_upper_bound / self.profit
-
-    @property
-    def raised_delta(self) -> int:
-        """Largest critical set actually used by a raise."""
-        if not self.events:
-            return 0
-        return max(len(ev.critical_edges) for ev in self.events)
-
-
-FirstPhaseArtifacts = Tuple[
-    DualState, List[List[DemandInstance]], List[RaiseEvent], PhaseCounters
-]
-
-
-def _stall_error(epoch: int, stage_no: int, n_members: int) -> RuntimeError:
-    """A progress-guard failure: the MIS oracle stopped satisfying members."""
-    return RuntimeError(
-        f"first phase made no progress in epoch {epoch}, stage {stage_no}: "
-        f"exceeded {n_members} steps for a group of {n_members} members "
-        "(each step must tau-satisfy at least one instance; the MIS oracle "
-        "is returning empty or non-raising sets)"
-    )
-
-
-def _group_members(
-    instances: Sequence[DemandInstance], layout: InstanceLayout
-) -> Dict[int, List[DemandInstance]]:
-    groups: Dict[int, List[DemandInstance]] = {}
-    for d in instances:
-        groups.setdefault(layout.group_of[d.instance_id], []).append(d)
-    return groups
-
-
-def _run_first_phase_reference(
-    instances: Sequence[DemandInstance],
-    layout: InstanceLayout,
-    raise_rule: RaiseRule,
-    thresholds: Sequence[float],
-    mis_oracle: MISOracle,
-    conflict_adj: ConflictAdjacency,
-) -> FirstPhaseArtifacts:
-    """The literal Figure 7 loop: full rescans, per-step ``restrict()``."""
-    dual = DualState(use_height_rule=raise_rule.use_height_rule)
-    by_id = {d.instance_id: d for d in instances}
-    groups = _group_members(instances, layout)
-    events: List[RaiseEvent] = []
-    stack: List[List[DemandInstance]] = []
-    counters = PhaseCounters()
-    order = 0
-    for epoch in range(1, layout.n_epochs + 1):
-        members = groups.get(epoch, [])
-        counters.epochs += 1
-        if not members:
-            continue
-        for stage_no, tau in enumerate(thresholds, start=1):
-            counters.stages += 1
-            step = 0
-            while True:
-                counters.satisfaction_checks += len(members)
-                unsatisfied = [d for d in members if not dual.is_satisfied(d, tau)]
-                if not unsatisfied:
-                    break
-                step += 1
-                if step > len(members):  # each step must satisfy >= 1 member
-                    raise _stall_error(epoch, stage_no, len(members))
-                unsatisfied_ids = [d.instance_id for d in unsatisfied]
-                for i in unsatisfied_ids:
-                    counters.adjacency_touches += 1 + len(conflict_adj[i])
-                mis_ids, rounds = mis_oracle(
-                    unsatisfied,
-                    restrict(conflict_adj, unsatisfied_ids),
-                    (epoch, stage_no, step),
-                )
-                counters.mis_rounds += rounds
-                chosen = [by_id[i] for i in sorted(mis_ids)]
-                for d in chosen:
-                    delta = raise_rule.apply(dual, d, layout.pi[d.instance_id])
-                    events.append(
-                        RaiseEvent(
-                            order=order,
-                            instance=d,
-                            delta=delta,
-                            critical_edges=layout.pi[d.instance_id],
-                            step_tuple=(epoch, stage_no, step),
-                        )
-                    )
-                    order += 1
-                    counters.raises += 1
-                stack.append(chosen)
-                counters.steps += 1
-            counters.max_steps_per_stage = max(counters.max_steps_per_stage, step)
-    return dual, stack, events, counters
-
-
-def _run_first_phase_incremental(
-    instances: Sequence[DemandInstance],
-    layout: InstanceLayout,
-    raise_rule: RaiseRule,
-    thresholds: Sequence[float],
-    mis_oracle: MISOracle,
-    conflict_adj: ConflictAdjacency,
-) -> FirstPhaseArtifacts:
-    """Dirty-set engine: same semantics, incremental satisfaction state.
-
-    Correctness rests on two facts.  (1) The LHS of an instance's dual
-    constraint changes only when some neighbor's raise touches it: a
-    raise on ``d`` moves ``alpha`` only for demand ``a_d`` and ``beta``
-    only on ``pi(d)``, so the instances whose LHS moved (the *dirty
-    set*) are exactly what :class:`InstanceIndex` returns.  (2) Raises
-    only *increase* LHS values, so within one (epoch, stage) a satisfied
-    instance stays satisfied -- only dirty instances can change status.
-
-    Together these let the engine cache each member's LHS (recomputed
-    only when dirty) so the ``tau``-satisfaction test is a cached float
-    comparison, and maintain the per-stage *unsatisfied* set plus an
-    active-set adjacency view that shrinks in place as instances
-    satisfy, replacing the reference engine's per-step full rescan and
-    ``restrict()`` rebuild.
-    """
-    dual = DualState(use_height_rule=raise_rule.use_height_rule)
-    by_id = {d.instance_id: d for d in instances}
-    index = build_instance_index(instances)
-    groups = _group_members(instances, layout)
-    events: List[RaiseEvent] = []
-    stack: List[List[DemandInstance]] = []
-    counters = PhaseCounters()
-    order = 0
-    for epoch in range(1, layout.n_epochs + 1):
-        members = groups.get(epoch, [])
-        counters.epochs += 1
-        if not members:
-            continue
-        # LHS cache, one full evaluation per member per epoch; afterwards
-        # entries are recomputed only when their instance is dirty.
-        lhs_of: Dict[InstanceId, float] = {}
-        for d in members:
-            counters.satisfaction_checks += 1
-            lhs_of[d.instance_id] = dual.lhs(d)
-        for stage_no, tau in enumerate(thresholds, start=1):
-            counters.stages += 1
-            # Stage boundary: tau rose; re-derive the unsatisfied set from
-            # the cache (same predicate as DualState.is_satisfied).
-            unsat = {
-                d.instance_id
-                for d in members
-                if not DualState.lhs_satisfies(lhs_of[d.instance_id], d.profit, tau)
-            }
-            if not unsat:
-                continue
-            # Active-set view of the conflict graph, built once per stage
-            # and shrunk in place as instances satisfy.
-            active_adj: ConflictAdjacency = {}
-            for i in unsat:
-                active_adj[i] = conflict_adj[i] & unsat
-                counters.adjacency_touches += 1 + len(conflict_adj[i])
-            step = 0
-            while unsat:
-                step += 1
-                if step > len(members):  # each step must satisfy >= 1 member
-                    raise _stall_error(epoch, stage_no, len(members))
-                candidates = [by_id[i] for i in sorted(unsat)]
-                mis_ids, rounds = mis_oracle(
-                    candidates, active_adj, (epoch, stage_no, step)
-                )
-                counters.mis_rounds += rounds
-                chosen = [by_id[i] for i in sorted(mis_ids)]
-                dirty: set = set()
-                for d in chosen:
-                    delta = raise_rule.apply(dual, d, layout.pi[d.instance_id])
-                    events.append(
-                        RaiseEvent(
-                            order=order,
-                            instance=d,
-                            delta=delta,
-                            critical_edges=layout.pi[d.instance_id],
-                            step_tuple=(epoch, stage_no, step),
-                        )
-                    )
-                    order += 1
-                    counters.raises += 1
-                    dirty.add(d.instance_id)
-                    dirty |= index.affected_by(d.demand_id, layout.pi[d.instance_id])
-                stack.append(chosen)
-                counters.steps += 1
-                # Refresh the cache for dirty group members and retire the
-                # ones that became tau-satisfied.
-                newly_satisfied = []
-                for i in sorted(dirty & lhs_of.keys()):
-                    d = by_id[i]
-                    counters.satisfaction_checks += 1
-                    lhs = dual.lhs(d)
-                    lhs_of[i] = lhs
-                    if i in unsat and DualState.lhs_satisfies(lhs, d.profit, tau):
-                        newly_satisfied.append(i)
-                for i in newly_satisfied:
-                    unsat.discard(i)
-                    nbrs = active_adj.pop(i)
-                    counters.adjacency_touches += 1 + len(nbrs)
-                    for nb in nbrs:
-                        if nb in active_adj:
-                            active_adj[nb].discard(i)
-            counters.max_steps_per_stage = max(counters.max_steps_per_stage, step)
-    return dual, stack, events, counters
-
-
-_ENGINE_IMPLS = {
-    "reference": _run_first_phase_reference,
-    "incremental": _run_first_phase_incremental,
-}
-
-
 def run_first_phase(
     instances: Sequence[DemandInstance],
     layout: InstanceLayout,
@@ -417,20 +140,35 @@ def run_first_phase(
     mis_oracle: MISOracle,
     conflict_adj: Optional[ConflictAdjacency] = None,
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> FirstPhaseArtifacts:
     """Run the first phase (Figure 7) and return its artifacts.
 
     ``engine`` selects the implementation (see the module docstring);
-    both produce identical artifacts for the bundled MIS oracles.
+    all engines produce identical artifacts for the bundled MIS oracles.
+    ``workers`` sizes the parallel engine's thread pool (default: the
+    machine's cores, capped) and is rejected for the serial engines.
     """
     if not thresholds:
         raise ValueError("at least one stage threshold is required")
-    try:
-        impl = _ENGINE_IMPLS[engine]
-    except KeyError:
-        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    validate_engine(engine)
+    if engine == "parallel":
+        # The plan slices per-epoch adjacency itself; no global conflict
+        # graph (with its never-consulted cross-epoch pairs) is needed.
+        return run_first_phase_parallel(
+            instances, layout, raise_rule, thresholds, mis_oracle,
+            conflict_adj=conflict_adj, workers=workers,
+        )
+    if workers is not None:
+        raise ValueError(
+            f"workers= applies only to engine='parallel', not {engine!r}"
+        )
     if conflict_adj is None:
         conflict_adj = build_conflict_graph(instances)
+    impl = {
+        "reference": run_first_phase_reference,
+        "incremental": run_first_phase_incremental,
+    }[engine]
     return impl(instances, layout, raise_rule, thresholds, mis_oracle, conflict_adj)
 
 
@@ -454,17 +192,20 @@ def run_two_phase(
     mis: str = "luby",
     seed: int = 0,
     engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> TwoPhaseResult:
     """Run both phases and assemble a :class:`TwoPhaseResult`.
 
     ``mis`` selects the oracle (``'luby'``, ``'hash'`` or ``'greedy'``);
     ``seed`` makes randomized runs reproducible; ``engine`` selects the
-    first-phase implementation (``'reference'`` or ``'incremental'``,
-    equivalent by construction -- see the module docstring).
+    first-phase implementation (``'reference'``, ``'incremental'`` or
+    ``'parallel'``, equivalent by construction -- see the module
+    docstring); ``workers`` sizes the parallel engine's pool.
     """
     oracle = make_mis_oracle(mis, seed)
     dual, stack, events, counters = run_first_phase(
-        instances, layout, raise_rule, thresholds, oracle, engine=engine
+        instances, layout, raise_rule, thresholds, oracle,
+        engine=engine, workers=workers,
     )
     solution = run_second_phase(stack)
     counters.phase2_rounds = len(stack)

@@ -1,0 +1,54 @@
+"""The result object of a full two-phase run.
+
+Separated from the engine selection logic in
+:mod:`repro.core.framework` (which re-exports it) so the engines
+package, the planner and downstream consumers can all name the type
+without importing the facade.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.demand import DemandInstance
+from repro.core.dual import DualState, RaiseEvent
+from repro.core.engines.artifacts import InstanceLayout, PhaseCounters
+from repro.core.solution import Solution
+
+
+@dataclass
+class TwoPhaseResult:
+    """Everything produced by one run of the framework."""
+
+    solution: Solution
+    dual: DualState
+    events: List[RaiseEvent]
+    stack: List[List[DemandInstance]]
+    slackness: float
+    layout: InstanceLayout
+    counters: PhaseCounters
+    thresholds: List[float]
+
+    @property
+    def profit(self) -> float:
+        """``p(S)``."""
+        return self.solution.profit
+
+    @property
+    def certified_upper_bound(self) -> float:
+        """``val(alpha, beta) / lambda >= p(Opt)`` by weak duality."""
+        return self.dual.scaled_value(self.slackness)
+
+    @property
+    def certified_ratio(self) -> float:
+        """Per-run certified approximation factor (``>= Opt/p(S)``)."""
+        if self.profit <= 0:
+            return float("inf")
+        return self.certified_upper_bound / self.profit
+
+    @property
+    def raised_delta(self) -> int:
+        """Largest critical set actually used by a raise."""
+        if not self.events:
+            return 0
+        return max(len(ev.critical_edges) for ev in self.events)

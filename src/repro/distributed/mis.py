@@ -14,7 +14,12 @@ coordinate.  Three oracles are provided:
 
 * :func:`luby_mis` -- Luby's permutation variant with a seeded RNG
   stream.  One iteration = two communication rounds (exchange
-  priorities; announce membership).
+  priorities; announce membership).  The factory-made oracle
+  (``make_mis_oracle('luby', seed)``) keeps one independent substream
+  per *epoch*, derived from ``(seed, epoch)``: processors working in
+  different epochs share no randomness, which mirrors the distributed
+  reality and makes epoch executions order-independent -- the property
+  the parallel first-phase engine relies on for bit-identical replay.
 * hash-Luby (``make_mis_oracle('hash', seed)``) -- identical process,
   but each priority is a cryptographic hash of (seed, instance key,
   context, iteration).  Any processor can recompute any priority
@@ -140,19 +145,38 @@ def hash_luby_mis(
     )
 
 
+def luby_substream_seed(seed: int, epoch: int) -> int:
+    """The derived integer seed of epoch *epoch*'s Luby RNG substream."""
+    return seed * 0x9E3779B1 + epoch
+
+
 def make_mis_oracle(kind: str, seed: int) -> MISOracle:
     """Build an MIS oracle.
 
-    ``kind`` is ``'luby'`` (seeded RNG stream), ``'hash'`` (hash-based
-    priorities; bit-identical to the message-passing protocol) or
-    ``'greedy'`` (deterministic sweep).
+    ``kind`` is ``'luby'`` (per-epoch seeded RNG substreams), ``'hash'``
+    (hash-based priorities; bit-identical to the message-passing
+    protocol) or ``'greedy'`` (deterministic sweep).
+
+    All three factory-made oracles are safe to share across concurrently
+    executing epochs: ``greedy`` and ``hash`` are stateless, and
+    ``'luby'`` keys its mutable RNG state by the context's epoch, so
+    each epoch consumes only its own substream regardless of how epoch
+    executions interleave.
     """
     if kind == "greedy":
         return greedy_mis
     if kind == "luby":
-        rng = random.Random(seed)
+        rngs: Dict[int, random.Random] = {}
 
         def rng_oracle(candidates, adjacency, context=None):
+            epoch = context[0] if context is not None else 0
+            rng = rngs.get(epoch)
+            if rng is None:
+                # dict.setdefault is atomic under the GIL, and an epoch
+                # only ever runs on one worker, so lazy creation is safe.
+                rng = rngs.setdefault(
+                    epoch, random.Random(luby_substream_seed(seed, epoch))
+                )
             return luby_mis(candidates, adjacency, rng)
 
         return rng_oracle

@@ -7,6 +7,7 @@ from repro.workloads.random_suite import (
     build_workload,
     bursty_line_problem,
     get_workload,
+    multi_tenant_forest_problem,
     register_workload,
     workload_names,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "figure6_network",
     "figure6_problem",
     "get_workload",
+    "multi_tenant_forest_problem",
     "random_forest",
     "random_line_problem",
     "random_tree",

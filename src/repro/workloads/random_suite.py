@@ -26,6 +26,12 @@ differently:
   expands into many instances per resource.
 * ``sparse-access-forest`` -- bimodal heights over several networks with
   single-network accessibility, the multi-network merge path.
+* ``multi-tenant-forest`` -- many small disjoint tenant trees, each with
+  its own demand mix and only a couple of local demands: the regime
+  where first-phase epochs are most independent of each other (few
+  shared edges/demands across groups), i.e. where the epoch-graph
+  planner (:mod:`repro.core.plan`) finds the widest waves for
+  ``engine="parallel"``.
 
 The paper's fixed worked examples (Figures 1, 2, 6) are registered too,
 with ``scale=False``; their builders ignore ``(size, seed)``.
@@ -36,13 +42,18 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.demand import WindowDemand
+from repro.core.demand import Demand, WindowDemand
 from repro.core.problem import Problem
 from repro.trees.tree import TreeNetwork, make_line_network
-from repro.workloads.demands import _random_height, _random_profit, random_tree_problem
+from repro.workloads.demands import (
+    _random_endpoints,
+    _random_height,
+    _random_profit,
+    random_tree_problem,
+)
 from repro.workloads.lines import random_line_problem
 from repro.workloads.scenarios import SCENARIOS
-from repro.workloads.trees import random_forest
+from repro.workloads.trees import random_forest, random_tree_edges
 
 
 @dataclass(frozen=True)
@@ -119,6 +130,69 @@ def workload_names(
 # ----------------------------------------------------------------------
 # Scale generators
 # ----------------------------------------------------------------------
+#: Per-tenant demand mixes of the multi-tenant forest: a (profit
+#: profile, pmax/pmin) pair is assigned to each tenant in rotation.
+TENANT_MIXES = (
+    ("uniform", 10.0),
+    ("powerlaw", 100.0),
+    ("two-point", 20.0),
+)
+
+
+def multi_tenant_forest_problem(
+    n_tenants: int,
+    m: int,
+    seed: int = 0,
+    tenant_size_range: Tuple[int, int] = (8, 20),
+    locality: int = 3,
+    shapes: Tuple[str, ...] = ("uniform", "caterpillar", "binary"),
+) -> Problem:
+    """Many small disjoint tenant trees with local, single-tenant demands.
+
+    Each of the ``n_tenants`` tree-networks gets its own size, shape and
+    demand mix (:data:`TENANT_MIXES`, in rotation); the ``m`` demands are
+    spread round-robin over the tenants, each accessible on its own
+    tenant's network only, with endpoints at most ``locality`` edges
+    apart.  Because every demand has exactly one instance and two short
+    paths in a small tree rarely overlap, different epochs of the merged
+    layered decomposition share few edges and demands -- the workload
+    family where the epoch-graph planner finds the widest independence
+    classes.
+    """
+    if n_tenants < 1:
+        raise ValueError("at least one tenant is required")
+    if m < n_tenants:
+        raise ValueError(
+            f"need at least one demand per tenant, got m={m} for {n_tenants} tenants"
+        )
+    lo, hi = tenant_size_range
+    if not 2 <= lo <= hi:
+        raise ValueError(f"tenant sizes must satisfy 2 <= lo <= hi, got {tenant_size_range}")
+    rng = random.Random(seed)
+    networks: Dict[int, TreeNetwork] = {}
+    for t in range(n_tenants):
+        size = rng.randint(lo, hi)
+        shape = shapes[t % len(shapes)]
+        networks[t] = TreeNetwork(t, random_tree_edges(size, seed=seed + 31 * t, shape=shape))
+    demands: List[Demand] = []
+    access: Dict[int, Tuple[int, ...]] = {}
+    for demand_id in range(m):
+        tenant = demand_id % n_tenants
+        profile, pmax = TENANT_MIXES[tenant % len(TENANT_MIXES)]
+        u, v = _random_endpoints(rng, networks[tenant], locality)
+        demands.append(
+            Demand(
+                demand_id=demand_id,
+                u=u,
+                v=v,
+                profit=_random_profit(rng, profile, pmax),
+                height=1.0,
+            )
+        )
+        access[demand_id] = (tenant,)
+    return Problem(networks=networks, demands=demands, access=access)
+
+
 def bursty_line_problem(
     n_slots: int,
     m: int,
@@ -211,6 +285,19 @@ def _wide_vod_lines(size: int, seed: int) -> Problem:
     )
 
 
+def _multi_tenant_forest(size: int, seed: int) -> Problem:
+    # Mostly single-demand tenants with tight locality: per-tenant
+    # coupling between epochs stays rare even at large tenant counts, so
+    # the planner's epoch-independence width survives scaling.
+    return multi_tenant_forest_problem(
+        n_tenants=max(4, (3 * size) // 4),
+        m=size,
+        seed=seed,
+        tenant_size_range=(10, 24),
+        locality=2,
+    )
+
+
 def _sparse_access_forest(size: int, seed: int) -> Problem:
     return random_tree_problem(
         random_forest(max(12, size // 3), 3, seed=seed),
@@ -258,6 +345,15 @@ register_workload(
         heights="wide",
         description="video-on-demand style wide requests, generous windows",
         build=_wide_vod_lines,
+    )
+)
+register_workload(
+    WorkloadSpec(
+        name="multi-tenant-forest",
+        kind="tree",
+        heights="unit",
+        description="many small disjoint tenant trees, local per-tenant demand mixes",
+        build=_multi_tenant_forest,
     )
 )
 register_workload(

@@ -1,13 +1,19 @@
-"""Golden equivalence of the two first-phase engines.
+"""Golden equivalence of the first-phase engines.
 
-The incremental dirty-set engine must be *bit-identical* to the
-reference Figure 7 loop -- not merely "as good": the same solution ids,
-the same raise events in the same order with the same deltas, the same
-stack shape and schedule counters, and the same final dual assignment --
-for every algorithm, every MIS oracle, the paper's worked examples, and
-seeded random-suite workloads.  Any divergence means the dirty-set
-propagation missed an affected instance (or invented one, desynching
-the Luby RNG stream).
+The incremental dirty-set engine and the parallel plan/execute/merge
+engine must be *bit-identical* to the reference Figure 7 loop -- not
+merely "as good": the same solution ids, the same raise events in the
+same order with the same deltas, the same stack shape and schedule
+counters, and the same final dual assignment -- for every algorithm,
+every MIS oracle, the paper's worked examples, and seeded random-suite
+workloads.  Any divergence means the dirty-set propagation missed an
+affected instance (or invented one, desynching a Luby RNG substream),
+or that the epoch plan let interacting epochs run out of order.
+
+Every case in this suite runs all three engines: ``both_engines``
+asserts the parallel engine (2 workers) against the incremental one
+inline and returns the (reference, incremental) pair for the caller's
+own comparison.
 """
 import pytest
 
@@ -69,8 +75,11 @@ def assert_reports_identical(ref, inc):
 
 
 def both_engines(solver, problem, **kwargs):
+    """Run all engines; parallel is asserted against incremental here."""
     ref = solver(problem, engine="reference", **kwargs)
     inc = solver(problem, engine="incremental", **kwargs)
+    par = solver(problem, engine="parallel", workers=2, **kwargs)
+    assert_reports_identical(inc, par)
     return ref, inc
 
 
@@ -88,6 +97,19 @@ class TestUnitTrees:
     @pytest.mark.parametrize("seed", [0, 1])
     def test_random_suite(self, name, mis, seed):
         problem = build_workload(name, 30, seed=seed)
+        ref, inc = both_engines(
+            solve_unit_trees, problem, epsilon=0.2, mis=mis, seed=seed
+        )
+        assert_reports_identical(ref, inc)
+
+    @pytest.mark.parametrize("mis", ORACLES)
+    @pytest.mark.parametrize("seed", [0, 12, 60])
+    def test_multi_tenant_forest(self, mis, seed):
+        # The headline workload of the parallel engine: the only bundled
+        # family whose epoch plans have multiple waves, so this is where
+        # the wave-merge path (dual insertion order included) is really
+        # exercised.
+        problem = build_workload("multi-tenant-forest", 60, seed=seed)
         ref, inc = both_engines(
             solve_unit_trees, problem, epsilon=0.2, mis=mis, seed=seed
         )
@@ -200,6 +222,24 @@ class TestEngineValidation:
                 problem.instances, layout, UnitRaise(), [0.9], engine="turbo"
             )
 
+    def test_validation_is_single_sourced(self):
+        # algorithms.base delegates to the framework's validator, so the
+        # two error sites must produce the very same message.
+        from repro.algorithms.base import validate_engine as base_validate
+        from repro.core.framework import validate_engine as fw_validate
+
+        with pytest.raises(ValueError) as base_err:
+            base_validate("warp")
+        with pytest.raises(ValueError) as fw_err:
+            fw_validate("warp")
+        assert str(base_err.value) == str(fw_err.value)
+        assert base_validate("parallel") == "parallel"
+
+    def test_workers_rejected_for_serial_engines(self):
+        problem = scenario("figure6")
+        with pytest.raises(ValueError, match="workers"):
+            solve_unit_trees(problem, engine="incremental", workers=2)
+
 
 class TestWorkSavings:
     def test_incremental_does_strictly_fewer_checks_at_scale(self):
@@ -214,3 +254,26 @@ class TestWorkSavings:
         )
         assert ref.result.counters.satisfaction_checks > 0
         assert inc.result.counters.adjacency_touches > 0
+
+    def test_parallel_sliced_state_touches_no_more_adjacency(self):
+        # The plan hands each epoch only its group's conflict adjacency,
+        # so the parallel engine can never touch more entries than the
+        # incremental engine's global view -- and on workloads with
+        # cross-epoch conflict mass it touches strictly fewer.
+        problem = build_workload("powerlaw-trees", 60, seed=13)
+        inc = solve_unit_trees(
+            problem, epsilon=0.2, mis="greedy", seed=13, engine="incremental"
+        )
+        par = solve_unit_trees(
+            problem, epsilon=0.2, mis="greedy", seed=13,
+            engine="parallel", workers=2,
+        )
+        assert_reports_identical(inc, par)
+        assert (
+            par.result.counters.adjacency_touches
+            <= inc.result.counters.adjacency_touches
+        )
+        assert (
+            par.result.counters.satisfaction_checks
+            == inc.result.counters.satisfaction_checks
+        )

@@ -48,8 +48,32 @@ class TestThresholds:
             geometric_thresholds(0.9, eps)
 
     def test_unit_xi_constants(self):
-        assert unit_xi(6) == pytest.approx(14 / 15)  # trees (Section 5)
-        assert unit_xi(3) == pytest.approx(8 / 9)  # lines (Section 7)
+        # The paper's constants hold *exactly* (the formulas are exact
+        # rational arithmetic in floats): 14/15 for trees (Delta = 6,
+        # Section 5) and 8/9 for lines (Delta = 3, Section 7).
+        assert unit_xi(6) == 14 / 15
+        assert unit_xi(3) == 8 / 9
+
+    def test_thresholds_lie_in_unit_interval(self):
+        for xi, eps in [(14 / 15, 0.05), (8 / 9, 0.3), (0.99, 0.5)]:
+            taus = geometric_thresholds(xi, eps)
+            assert all(0.0 < t < 1.0 for t in taus)
+            assert taus == sorted(taus)
+            assert taus[-1] >= 1.0 - eps - 1e-12
+
+    @pytest.mark.parametrize("xi", [1e-9, 0.999])
+    def test_xi_open_interval_boundaries_accepted(self, xi):
+        # (0, 1) is open: values inside, even near the edges, must work.
+        # (xi -> 1 makes the schedule length ~log(eps)/log(xi) blow up,
+        # so "near" stays within a few thousand stages.)
+        taus = geometric_thresholds(xi, 0.5)
+        assert taus and all(0.0 < t < 1.0 for t in taus)
+
+    def test_eps_message_names_bounds(self):
+        with pytest.raises(ValueError, match=r"epsilon must lie in \(0, 1\)"):
+            geometric_thresholds(0.9, 1.5)
+        with pytest.raises(ValueError, match=r"xi must lie in \(0, 1\)"):
+            geometric_thresholds(-0.1, 0.5)
 
     def test_narrow_xi_monotone_in_hmin(self):
         assert narrow_xi(6, 0.5) < narrow_xi(6, 0.1)
@@ -59,6 +83,18 @@ class TestThresholds:
             narrow_xi(6, 0.6)
         with pytest.raises(ValueError):
             narrow_xi(6, 0.0)
+
+    @pytest.mark.parametrize("hmin", [-0.1, 0.5 + 1e-9, 2.0])
+    def test_narrow_xi_rejects_out_of_range_hmin(self, hmin):
+        with pytest.raises(ValueError, match=r"hmin must lie in \(0, 1/2\]"):
+            narrow_xi(6, hmin)
+
+    def test_narrow_xi_accepts_half_closed_boundary(self):
+        # (0, 1/2] is closed on the right: exactly 1/2 is legal and
+        # still yields a usable stage ratio in (0, 1).
+        xi = narrow_xi(6, 0.5)
+        assert 0.0 < xi < 1.0
+        assert geometric_thresholds(xi, 0.3)
 
 
 def run_unit_tree_case(seed, mis="greedy", epsilon=0.2, m=14, n=24, r=2):

@@ -8,10 +8,12 @@ from repro.workloads.demands import random_tree_problem
 from repro.workloads.lines import random_line_problem
 from repro.workloads.random_suite import (
     REGISTRY,
+    TENANT_MIXES,
     WorkloadSpec,
     build_workload,
     bursty_line_problem,
     get_workload,
+    multi_tenant_forest_problem,
     register_workload,
     workload_names,
 )
@@ -140,7 +142,8 @@ class TestLineGenerators:
 class TestWorkloadRegistry:
     def test_scale_workloads_registered(self):
         assert {"powerlaw-trees", "deep-trees", "bursty-lines",
-                "wide-vod-lines", "sparse-access-forest"} <= set(REGISTRY)
+                "wide-vod-lines", "sparse-access-forest",
+                "multi-tenant-forest"} <= set(REGISTRY)
 
     def test_scenarios_registered_as_fixed(self):
         for name in SCENARIOS:
@@ -234,6 +237,61 @@ class TestWorkloadRegistry:
                     name="typo-heights", kind="tree", heights="naroww",
                     description="nope", build=lambda size, seed: None,
                 )
+            )
+
+
+class TestMultiTenantForest:
+    def test_tenant_isolation(self):
+        # Every demand is a single-tenant citizen: one accessible
+        # network, endpoints inside it, exactly one instance.
+        problem = multi_tenant_forest_problem(n_tenants=8, m=24, seed=1)
+        assert len(problem.networks) == 8
+        assert all(len(nets) == 1 for nets in problem.access.values())
+        per_demand = {}
+        for d in problem.instances:
+            per_demand[d.demand_id] = per_demand.get(d.demand_id, 0) + 1
+            assert d.network_id == problem.access[d.demand_id][0]
+        assert all(count == 1 for count in per_demand.values())
+
+    def test_demands_spread_over_all_tenants(self):
+        problem = multi_tenant_forest_problem(n_tenants=6, m=18, seed=2)
+        used = {problem.access[a.demand_id][0] for a in problem.demands}
+        assert used == set(problem.networks)
+
+    def test_unit_heights_and_mix_rotation(self):
+        problem = multi_tenant_forest_problem(n_tenants=9, m=27, seed=3)
+        assert problem.is_unit_height
+        # Two-point tenants only ever see the mix's two profit values.
+        two_point_tenants = {
+            t for t in problem.networks
+            if TENANT_MIXES[t % len(TENANT_MIXES)][0] == "two-point"
+        }
+        for a in problem.demands:
+            if problem.access[a.demand_id][0] in two_point_tenants:
+                assert a.profit in (1.0, 20.0)
+
+    def test_locality_bounds_paths(self):
+        problem = multi_tenant_forest_problem(
+            n_tenants=5, m=15, seed=4, locality=2
+        )
+        assert all(d.length <= 2 for d in problem.instances)
+
+    def test_deterministic_and_registered(self):
+        a = build_workload("multi-tenant-forest", 30, seed=5)
+        b = build_workload("multi-tenant-forest", 30, seed=5)
+        key = lambda p: [(d.u, d.v, d.profit) for d in p.demands]
+        assert key(a) == key(b)
+        spec = get_workload("multi-tenant-forest")
+        assert spec.kind == "tree" and spec.heights == "unit" and spec.scale
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            multi_tenant_forest_problem(n_tenants=0, m=5)
+        with pytest.raises(ValueError, match="one demand per tenant"):
+            multi_tenant_forest_problem(n_tenants=6, m=5)
+        with pytest.raises(ValueError, match="tenant sizes"):
+            multi_tenant_forest_problem(
+                n_tenants=2, m=4, tenant_size_range=(9, 5)
             )
 
 
