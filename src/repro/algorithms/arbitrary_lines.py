@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmReport, line_layouts, validate_engine
+from repro.algorithms.base import AlgorithmReport, line_layouts, validate_engine_knobs
 from repro.algorithms.unit_lines import LINE_DELTA, solve_unit_lines
 from repro.core.dual import HeightRaise
 from repro.core.framework import geometric_thresholds, narrow_xi, run_two_phase
@@ -28,9 +28,11 @@ def solve_narrow_lines(
     xi: Optional[float] = None,
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> AlgorithmReport:
     """Narrow-instance algorithm on lines (Section 7, arbitrary heights)."""
-    validate_engine(engine)
+    validate_engine_knobs(engine, backend, plan_granularity)
     if not all(a.is_narrow for a in problem.demands):
         raise ValueError("narrow algorithm requires every height <= 1/2")
     if hmin is None:
@@ -43,6 +45,7 @@ def solve_narrow_lines(
     result = run_two_phase(
         problem.instances, layout, HeightRaise(), thresholds, mis=mis, seed=seed,
         engine=engine, workers=workers,
+        backend=backend, plan_granularity=plan_granularity,
     )
     guarantee = (2 * delta * delta + 1) / result.slackness
     return AlgorithmReport(
@@ -61,27 +64,32 @@ def solve_arbitrary_lines(
     seed: int = 0,
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> AlgorithmReport:
     """Run the Theorem 7.2 algorithm on a line-network problem."""
-    validate_engine(engine)
+    validate_engine_knobs(engine, backend, plan_granularity)
     if not problem.has_wide:
         return solve_narrow_lines(
             problem, epsilon=epsilon, mis=mis, seed=seed, engine=engine,
-            workers=workers,
+            workers=workers, backend=backend,
+            plan_granularity=plan_granularity,
         )
     if not problem.has_narrow:
         return solve_unit_lines(
             problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
-            engine=engine, workers=workers,
+            engine=engine, workers=workers, backend=backend,
+            plan_granularity=plan_granularity,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_unit_lines(
         wide_problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
         engine=engine, workers=workers,
+        backend=backend, plan_granularity=plan_granularity,
     )
     narrow = solve_narrow_lines(
         narrow_problem, epsilon=epsilon, mis=mis, seed=seed, engine=engine,
-        workers=workers,
+        workers=workers, backend=backend, plan_granularity=plan_granularity,
     )
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)

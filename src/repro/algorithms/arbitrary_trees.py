@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmReport, validate_engine
+from repro.algorithms.base import AlgorithmReport, validate_engine_knobs
 from repro.algorithms.narrow_trees import solve_narrow_trees
 from repro.algorithms.unit_trees import solve_unit_trees
 from repro.core.problem import Problem
@@ -32,13 +32,16 @@ def solve_arbitrary_trees(
     decomposition: str = "ideal",
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> AlgorithmReport:
     """Run the Theorem 6.3 algorithm on *problem* (any heights)."""
-    validate_engine(engine)
+    validate_engine_knobs(engine, backend, plan_granularity)
     if not problem.has_wide:
         return solve_narrow_trees(
             problem, epsilon=epsilon, mis=mis, seed=seed,
             decomposition=decomposition, engine=engine, workers=workers,
+            backend=backend, plan_granularity=plan_granularity,
         )
     if not problem.has_narrow:
         return solve_unit_trees(
@@ -50,6 +53,8 @@ def solve_arbitrary_trees(
             allow_heights=True,
             engine=engine,
             workers=workers,
+            backend=backend,
+            plan_granularity=plan_granularity,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_unit_trees(
@@ -61,10 +66,13 @@ def solve_arbitrary_trees(
         allow_heights=True,
         engine=engine,
         workers=workers,
+        backend=backend,
+        plan_granularity=plan_granularity,
     )
     narrow = solve_narrow_trees(
         narrow_problem, epsilon=epsilon, mis=mis, seed=seed,
         decomposition=decomposition, engine=engine, workers=workers,
+        backend=backend, plan_granularity=plan_granularity,
     )
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)

@@ -11,10 +11,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.framework import (
+    BACKENDS,
     ENGINES,
     InstanceLayout,
     TwoPhaseResult,
+    validate_backend as _validate_backend,
     validate_engine as _validate_engine,
+    validate_plan_granularity as _validate_plan_granularity,
 )
 from repro.core.problem import Problem
 from repro.core.solution import Solution
@@ -45,6 +48,29 @@ def validate_engine(engine: str) -> str:
     truth for the engine registry and its error message.
     """
     return _validate_engine(engine)
+
+
+def validate_backend(backend):
+    """Validate a parallel-engine backend name early (``None`` = default).
+
+    Same single-error-site rationale as :func:`validate_engine`;
+    delegates to :func:`repro.core.framework.validate_backend`.
+    """
+    return _validate_backend(backend)
+
+
+def validate_engine_knobs(engine, backend=None, plan_granularity=None) -> str:
+    """Validate the engine/backend/granularity trio before any layout work.
+
+    The one-call form every ``solve_*`` entry point uses: composite
+    algorithms (wide/narrow splits) fail at a single site instead of
+    halfway through the first sub-run, and each name is checked by its
+    single source of truth in :mod:`repro.core.framework`.
+    """
+    _validate_engine(engine)
+    _validate_backend(backend)
+    _validate_plan_granularity(plan_granularity)
+    return engine
 
 
 @dataclass

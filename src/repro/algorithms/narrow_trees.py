@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmReport, tree_layouts, validate_engine
+from repro.algorithms.base import AlgorithmReport, tree_layouts, validate_engine_knobs
 from repro.algorithms.unit_trees import TREE_DELTA
 from repro.core.dual import HeightRaise
 from repro.core.framework import geometric_thresholds, narrow_xi, run_two_phase
@@ -29,13 +29,15 @@ def solve_narrow_trees(
     xi: Optional[float] = None,
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> AlgorithmReport:
     """Run the Lemma 6.2 narrow-instance algorithm on *problem*.
 
     ``hmin`` defaults to the smallest demand height; the paper assumes it
     is known to (or fixed a priori for) all processors.
     """
-    validate_engine(engine)
+    validate_engine_knobs(engine, backend, plan_granularity)
     if not all(a.is_narrow for a in problem.demands):
         raise ValueError("narrow algorithm requires every height <= 1/2")
     if hmin is None:
@@ -50,6 +52,7 @@ def solve_narrow_trees(
     result = run_two_phase(
         problem.instances, layout, HeightRaise(), thresholds, mis=mis, seed=seed,
         engine=engine, workers=workers,
+        backend=backend, plan_granularity=plan_granularity,
     )
     guarantee = (2 * delta * delta + 1) / result.slackness
     return AlgorithmReport(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Set, Tuple
 
-from repro.algorithms.base import AlgorithmReport, validate_engine
+from repro.algorithms.base import AlgorithmReport, validate_engine_knobs
 from repro.core.demand import DemandInstance
 from repro.core.dual import UnitRaise
 from repro.core.framework import (
@@ -35,18 +35,40 @@ from repro.trees.layered import wings
 from repro.trees.root_fixing import build_root_fixing
 
 
+class EarliestInSigmaOracle:
+    """'MIS' oracle returning the single earliest instance in sigma.
+
+    A module-level class (not a closure) so the oracle pickles, which
+    the parallel engine's process backend and component mode require;
+    ``rank`` maps instance id -> (network order, -capture depth, id).
+    """
+
+    def __init__(self, rank: Dict[InstanceId, Tuple[int, int, int]]) -> None:
+        self.rank = rank
+
+    def __call__(
+        self, candidates: Sequence[DemandInstance], adjacency, context=None
+    ) -> Tuple[Set[InstanceId], int]:
+        return (
+            {min((d.instance_id for d in candidates), key=self.rank.__getitem__)},
+            0,
+        )
+
+
 def solve_sequential(
     problem: Problem,
     use_alpha: Optional[bool] = None,
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> AlgorithmReport:
     """Run the Appendix A sequential algorithm.
 
     ``use_alpha`` defaults to skipping alpha exactly when no demand has
     more than one instance (the single-tree refinement).
     """
-    validate_engine(engine)
+    validate_engine_knobs(engine, backend, plan_granularity)
     if not problem.is_unit_height:
         raise ValueError("the Appendix A algorithm is for the unit-height case")
     instances = problem.instances
@@ -81,16 +103,12 @@ def solve_sequential(
         group_of=group_of, pi=pi, n_epochs=len(network_order)
     )
 
-    def sequential_pick(
-        candidates: Sequence[DemandInstance], adjacency, context=None
-    ) -> Tuple[Set[InstanceId], int]:
-        """'MIS' oracle returning the single earliest instance in sigma."""
-        return {min((d.instance_id for d in candidates), key=lambda i: rank[i])}, 0
-
     # One epoch per network, single stage with threshold 1 (lambda = 1).
     dual, stack, events, counters = run_first_phase(
-        instances, layout, UnitRaise(use_alpha=use_alpha), [1.0], sequential_pick,
+        instances, layout, UnitRaise(use_alpha=use_alpha), [1.0],
+        EarliestInSigmaOracle(rank),
         engine=engine, workers=workers,
+        backend=backend, plan_granularity=plan_granularity,
     )
     solution = run_second_phase(stack)
     counters.phase2_rounds = len(stack)

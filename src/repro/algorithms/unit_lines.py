@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmReport, line_layouts, validate_engine
+from repro.algorithms.base import AlgorithmReport, line_layouts, validate_engine_knobs
 from repro.core.dual import UnitRaise
 from repro.core.framework import geometric_thresholds, run_two_phase, unit_xi
 from repro.core.problem import Problem
@@ -30,9 +30,11 @@ def solve_unit_lines(
     xi: Optional[float] = None,
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> AlgorithmReport:
     """Run the Theorem 7.1 algorithm on a line-network problem."""
-    validate_engine(engine)
+    validate_engine_knobs(engine, backend, plan_granularity)
     if not allow_heights and not problem.is_unit_height:
         raise ValueError(
             "unit-height algorithm requires unit heights "
@@ -46,6 +48,7 @@ def solve_unit_lines(
     result = run_two_phase(
         problem.instances, layout, UnitRaise(), thresholds, mis=mis, seed=seed,
         engine=engine, workers=workers,
+        backend=backend, plan_granularity=plan_granularity,
     )
     guarantee = (delta + 1) / result.slackness
     return AlgorithmReport(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmReport, tree_layouts, validate_engine
+from repro.algorithms.base import AlgorithmReport, tree_layouts, validate_engine_knobs
 from repro.core.dual import UnitRaise
 from repro.core.framework import geometric_thresholds, run_two_phase, unit_xi
 from repro.core.problem import Problem
@@ -29,6 +29,8 @@ def solve_unit_trees(
     xi: Optional[float] = None,
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> AlgorithmReport:
     """Run the Theorem 5.3 algorithm on *problem*.
 
@@ -53,9 +55,18 @@ def solve_unit_trees(
         First-phase engine: ``'reference'``, ``'incremental'`` or
         ``'parallel'``.
     workers:
-        Thread-pool size for ``engine='parallel'`` (default: cores).
+        Pool size for ``engine='parallel'`` (default: usable CPUs, capped).
+    backend:
+        Execution backend for ``engine='parallel'``: ``'thread'``
+        (default), ``'process'`` (real CPU parallelism via pickled epoch
+        jobs) or ``'serial'`` (debugging).
+    plan_granularity:
+        ``'epoch'`` (default, bit-identical to the serial engines) or
+        ``'component'`` (relaxed: splits an epoch's disconnected
+        conflict components across workers; schedule counters may
+        differ).
     """
-    validate_engine(engine)
+    validate_engine_knobs(engine, backend, plan_granularity)
     if not allow_heights and not problem.is_unit_height:
         raise ValueError(
             "unit-height algorithm requires unit heights "
@@ -69,6 +80,7 @@ def solve_unit_trees(
     result = run_two_phase(
         problem.instances, layout, UnitRaise(), thresholds, mis=mis, seed=seed,
         engine=engine, workers=workers,
+        backend=backend, plan_granularity=plan_granularity,
     )
     guarantee = (delta + 1) / result.slackness
     return AlgorithmReport(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmReport, line_layouts, validate_engine
+from repro.algorithms.base import AlgorithmReport, line_layouts, validate_engine_knobs
 from repro.core.dual import HeightRaise, UnitRaise
 from repro.core.framework import run_two_phase
 from repro.core.problem import Problem
@@ -38,9 +38,11 @@ def solve_ps_unit_lines(
     allow_heights: bool = False,
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> AlgorithmReport:
     """The PS unit-height line algorithm (single stage, lambda=1/(5+eps))."""
-    validate_engine(engine)
+    validate_engine_knobs(engine, backend, plan_granularity)
     if not allow_heights and not problem.is_unit_height:
         raise ValueError("PS unit-height baseline requires unit heights")
     layout = line_layouts(problem)
@@ -48,6 +50,7 @@ def solve_ps_unit_lines(
     result = run_two_phase(
         problem.instances, layout, UnitRaise(), [lambda0], mis=mis, seed=seed,
         engine=engine, workers=workers,
+        backend=backend, plan_granularity=plan_granularity,
     )
     delta = max(layout.critical_set_size, 1)
     return AlgorithmReport(
@@ -66,22 +69,32 @@ def solve_ps_arbitrary_lines(
     seed: int = 0,
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> AlgorithmReport:
     """The PS arbitrary-height line algorithm (wide/narrow combination)."""
-    validate_engine(engine)
+    validate_engine_knobs(engine, backend, plan_granularity)
     if not problem.has_wide:
-        return _ps_narrow(problem, epsilon, mis, seed, engine, workers)
+        return _ps_narrow(
+            problem, epsilon, mis, seed, engine, workers, backend,
+            plan_granularity,
+        )
     if not problem.has_narrow:
         return solve_ps_unit_lines(
             problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
-            engine=engine, workers=workers,
+            engine=engine, workers=workers, backend=backend,
+            plan_granularity=plan_granularity,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_ps_unit_lines(
         wide_problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
         engine=engine, workers=workers,
+        backend=backend, plan_granularity=plan_granularity,
     )
-    narrow = _ps_narrow(narrow_problem, epsilon, mis, seed, engine, workers)
+    narrow = _ps_narrow(
+        narrow_problem, epsilon, mis, seed, engine, workers, backend,
+        plan_granularity,
+    )
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)
     )
@@ -97,6 +110,7 @@ def solve_ps_arbitrary_lines(
 def _ps_narrow(
     problem: Problem, epsilon: float, mis: str, seed: int,
     engine: str = "reference", workers: Optional[int] = None,
+    backend: Optional[str] = None, plan_granularity: Optional[str] = None,
 ) -> AlgorithmReport:
     """PS narrow side: height raise rule, single-stage threshold."""
     layout = line_layouts(problem)
@@ -104,6 +118,7 @@ def _ps_narrow(
     result = run_two_phase(
         problem.instances, layout, HeightRaise(), [lambda0], mis=mis, seed=seed,
         engine=engine, workers=workers,
+        backend=backend, plan_granularity=plan_granularity,
     )
     delta = max(layout.critical_set_size, 1)
     return AlgorithmReport(

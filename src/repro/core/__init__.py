@@ -2,7 +2,9 @@
 from repro.core.demand import Demand, DemandInstance, WindowDemand
 from repro.core.dual import DualState, HeightRaise, RaiseEvent, UnitRaise
 from repro.core.framework import (
+    BACKENDS,
     ENGINES,
+    GRANULARITIES,
     InstanceLayout,
     PhaseCounters,
     TwoPhaseResult,
@@ -12,7 +14,9 @@ from repro.core.framework import (
     run_second_phase,
     run_two_phase,
     unit_xi,
+    validate_backend,
     validate_engine,
+    validate_plan_granularity,
 )
 from repro.core.plan import EpochPlan
 from repro.core.problem import Problem, ProblemError
@@ -25,11 +29,13 @@ from repro.core.solution import (
 from repro.core.types import EPS, EdgeKey, edge_key
 
 __all__ = [
+    "BACKENDS",
     "CapacityLedger",
     "Demand",
     "DemandInstance",
     "DualState",
     "ENGINES",
+    "GRANULARITIES",
     "EPS",
     "EdgeKey",
     "EpochPlan",
@@ -52,5 +58,7 @@ __all__ = [
     "run_second_phase",
     "run_two_phase",
     "unit_xi",
+    "validate_backend",
     "validate_engine",
+    "validate_plan_granularity",
 ]

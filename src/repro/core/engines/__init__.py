@@ -2,9 +2,11 @@
 
 ``reference`` is the executable specification (the literal Figure 7
 loop), ``incremental`` the dirty-set production engine, ``parallel`` the
-plan-driven wave executor.  All three produce bit-identical semantic
-artifacts; :mod:`repro.core.framework` is the stable facade that selects
-between them.
+plan-driven wave executor (whose *execution backend* -- thread pool,
+process pool, or inline serial -- is itself pluggable, see
+:mod:`repro.core.engines.backends`).  All three engines produce
+bit-identical semantic artifacts; :mod:`repro.core.framework` is the
+stable facade that selects between them.
 """
 from repro.core.engines.artifacts import (
     FirstPhaseArtifacts,
@@ -13,27 +15,49 @@ from repro.core.engines.artifacts import (
     group_members,
     stall_error,
 )
+from repro.core.engines.backends import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    EpochExecutorBackend,
+    EpochJob,
+    EpochOutcome,
+    default_workers,
+    make_backend,
+    resolve_backend,
+    run_epoch_job,
+    usable_cpu_count,
+    validate_backend,
+)
 from repro.core.engines.incremental import (
     run_epoch_incremental,
     run_first_phase_incremental,
 )
 from repro.core.engines.parallel import (
     ParallelEpochExecutor,
-    default_workers,
     run_first_phase_parallel,
 )
 from repro.core.engines.reference import run_first_phase_reference
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "EpochExecutorBackend",
+    "EpochJob",
+    "EpochOutcome",
     "FirstPhaseArtifacts",
     "InstanceLayout",
     "ParallelEpochExecutor",
     "PhaseCounters",
     "default_workers",
     "group_members",
+    "make_backend",
+    "resolve_backend",
     "run_epoch_incremental",
+    "run_epoch_job",
     "run_first_phase_incremental",
     "run_first_phase_parallel",
     "run_first_phase_reference",
     "stall_error",
+    "usable_cpu_count",
+    "validate_backend",
 ]

@@ -1,0 +1,385 @@
+"""Pluggable execution backends for the parallel first-phase engine.
+
+The parallel engine (:mod:`repro.core.engines.parallel`) turns an
+:class:`~repro.core.plan.EpochPlan` wave into a list of sealed
+:class:`EpochJob` bundles -- everything one epoch (or one conflict
+component of an epoch, under ``plan_granularity="component"``) needs to
+run :func:`~repro.core.engines.incremental.run_epoch_incremental` on its
+own: the member slice, the member-restricted conflict adjacency and
+reverse index, the critical-edge layout, the raise rule and thresholds,
+the MIS oracle, and the dual values primed from the master state.  An
+:class:`EpochExecutorBackend` decides *where* those jobs run:
+
+* ``thread`` -- a warm, process-wide :class:`ThreadPoolExecutor`.  Zero
+  copying, shared memory; on a GIL-bound CPython the concurrency is
+  cooperative, so the win comes from the plan's sliced state rather
+  than core-parallelism.  The default.
+* ``process`` -- a warm, process-wide :class:`ProcessPoolExecutor`.
+  Jobs are shrunk to a picklable wire form (:meth:`EpochJob.sliced`
+  drops everything outside the member slice) and shipped to worker
+  processes, so epoch waves get *real* CPU parallelism.  Requires every
+  job ingredient -- members, index, adjacency, raise rule, thresholds
+  and the MIS oracle -- to be picklable; the bundled oracles and rules
+  all are (``tests/test_picklability.py`` pins this).
+* ``serial`` -- run jobs inline on the calling thread, in order.  The
+  debugging backend: identical results, trivially steppable.
+
+All three backends are **bit-identical** under the default epoch
+granularity: jobs are sealed off from each other, so where they execute
+cannot change what they compute, and the engine's merge walks epochs in
+ascending order regardless of completion order.
+
+Both pooled backends chunk a wave into at most ``workers`` jobs and
+run the first chunk on the calling thread (caller-runs), so a wave
+costs at most ``workers - 1`` dispatches.  Pools are kept warm across
+solves (pool start-up -- especially process spawn -- is comparable to
+a whole small first phase) and are keyed by worker count.
+
+``backend=None`` resolves to the :data:`BACKEND_ENV_VAR` environment
+variable when set (CI smoke legs run the whole suite under
+``REPRO_BACKEND=process`` this way) and to ``"thread"`` otherwise.
+"""
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.demand import DemandInstance
+from repro.core.dual import DualState, RaiseEvent, RaiseRule
+from repro.core.engines.artifacts import InstanceLayout, PhaseCounters
+from repro.core.engines.incremental import run_epoch_incremental
+from repro.core.types import DemandId, EdgeKey
+from repro.distributed.conflict import ConflictAdjacency, InstanceIndex
+from repro.distributed.mis import MISOracle
+
+#: The interchangeable execution backends of ``engine="parallel"``.
+BACKENDS = ("thread", "process", "serial")
+
+#: Environment variable consulted when ``backend=None``; lets CI run an
+#: unmodified test suite under a different backend ("smoke settings").
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Default worker-pool size cap: epoch waves are rarely wider than this,
+#: and pool ramp-up isn't free.
+MAX_DEFAULT_WORKERS = 8
+
+
+def validate_backend(backend: str) -> str:
+    """Validate an execution backend name (the single source of truth).
+
+    Everything that accepts ``backend=`` -- the ``solve_*`` entry points
+    via :func:`repro.algorithms.base.validate_backend` and
+    :func:`repro.core.framework.run_first_phase` -- funnels through this
+    check, so the backend registry and its error message live in exactly
+    one place.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    return backend
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve ``backend=None`` (env override, then ``"thread"``)."""
+    if backend is None:
+        env = os.environ.get(BACKEND_ENV_VAR)
+        if not env:
+            return "thread"
+        if env not in BACKENDS:
+            # Name the env var: the caller passed backend=None, so a bare
+            # "unknown backend" would point them at the wrong place.
+            raise ValueError(
+                f"unknown backend {env!r} from ${BACKEND_ENV_VAR}; "
+                f"choose from {BACKENDS}"
+            )
+        return env
+    return validate_backend(backend)
+
+
+def usable_cpu_count() -> int:
+    """CPUs this *process* may actually use.
+
+    ``os.cpu_count()`` reports the machine, not the process: under CPU
+    affinity masks (taskset, cgroup cpusets, containerized CI) the
+    usable count is lower, and sizing a pool past it only adds context
+    switching.  Resolution order: ``os.process_cpu_count`` (3.13+,
+    affinity-aware), ``os.sched_getaffinity`` (Linux), ``os.cpu_count``.
+    """
+    probe = getattr(os, "process_cpu_count", None)
+    n = probe() if probe is not None else None
+    if n is None:
+        affinity = getattr(os, "sched_getaffinity", None)
+        if affinity is not None:
+            try:
+                n = len(affinity(0))
+            except OSError:
+                n = None
+    if n is None:
+        n = os.cpu_count()
+    return max(1, n or 1)
+
+
+def default_workers() -> int:
+    """The ``workers=None`` resolution used by the pooled backends."""
+    return min(MAX_DEFAULT_WORKERS, usable_cpu_count())
+
+
+@dataclass
+class EpochJob:
+    """One sealed unit of first-phase work: an epoch, or one conflict
+    component of an epoch under ``plan_granularity="component"``.
+
+    Carries everything :func:`run_epoch_job` needs, so a job can execute
+    on any backend -- including in another process -- without reaching
+    back into the planner or the master dual.  ``primed_alpha`` /
+    ``primed_beta`` are the master dual values the members can read
+    (inherited from earlier waves); ``component`` is 0 for whole-epoch
+    jobs and the component ordinal (by smallest member id) otherwise.
+    """
+
+    epoch: int
+    component: int
+    members: List[DemandInstance]
+    index: InstanceIndex
+    adjacency: ConflictAdjacency
+    layout: InstanceLayout
+    raise_rule: RaiseRule
+    thresholds: Tuple[float, ...]
+    mis_oracle: MISOracle
+    primed_alpha: Dict[DemandId, float]
+    primed_beta: Dict[EdgeKey, float]
+
+    def sliced(self) -> "EpochJob":
+        """The job with its layout cut down to the member slice.
+
+        This is the process backend's wire form: the full
+        :class:`InstanceLayout` indexes *every* instance of the problem,
+        but a job only ever reads ``layout.pi`` for its own members, so
+        shipping the rest would pay pickling cost for nothing.
+        """
+        pi = {d.instance_id: self.layout.pi[d.instance_id] for d in self.members}
+        group_of = {i: self.epoch for i in pi}
+        layout = InstanceLayout(
+            group_of=group_of, pi=pi, n_epochs=self.layout.n_epochs
+        )
+        return replace(self, layout=layout)
+
+
+@dataclass
+class EpochOutcome:
+    """Everything one epoch job produced, pending the ordered merge."""
+
+    epoch: int
+    component: int
+    events: List[RaiseEvent]
+    stack: List[List[DemandInstance]]
+    counters: PhaseCounters
+    alpha_writes: Dict[DemandId, float]
+    beta_writes: Dict[EdgeKey, float]
+
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        """Merge position: epoch-major, component-minor."""
+        return (self.epoch, self.component)
+
+
+def run_epoch_job(job: EpochJob) -> EpochOutcome:
+    """Execute one sealed job; the worker function of every backend.
+
+    Runs the exact incremental loop body over a local dual primed with
+    the job's inherited values, then reports only the *writes* (values
+    that differ from what was primed) so the engine can merge disjoint
+    epochs without re-deriving anything.
+    """
+    members = job.members
+    by_id = {d.instance_id: d for d in members}
+    local = DualState(use_height_rule=job.raise_rule.use_height_rule)
+    local.alpha.update(job.primed_alpha)
+    local.beta.update(job.primed_beta)
+    events: List[RaiseEvent] = []
+    stack: List[List[DemandInstance]] = []
+    counters = PhaseCounters()
+    run_epoch_incremental(
+        job.epoch, members, by_id, local, job.index, job.adjacency,
+        job.layout, job.raise_rule, job.thresholds, job.mis_oracle,
+        events, stack, counters, order=0,
+    )
+    if job.primed_alpha:
+        alpha_writes = {
+            k: v for k, v in local.alpha.items()
+            if k not in job.primed_alpha or job.primed_alpha[k] != v
+        }
+    else:
+        alpha_writes = local.alpha
+    if job.primed_beta:
+        beta_writes = {
+            k: v for k, v in local.beta.items()
+            if k not in job.primed_beta or job.primed_beta[k] != v
+        }
+    else:
+        beta_writes = local.beta
+    return EpochOutcome(
+        job.epoch, job.component, events, stack, counters,
+        alpha_writes, beta_writes,
+    )
+
+
+def _run_jobs(jobs: Sequence[EpochJob]) -> List[EpochOutcome]:
+    """Run a chunk of jobs in order (the pool-submitted unit of work)."""
+    return [run_epoch_job(job) for job in jobs]
+
+
+class EpochExecutorBackend:
+    """Where epoch jobs run.  Implementations must return one outcome
+    per job; order within the returned list is immaterial (the engine
+    merges by ``(epoch, component)``), but every job must complete."""
+
+    name: str = "?"
+    #: Worker count to attribute in ``PhaseCounters.workers_used``.
+    workers: int = 1
+
+    def run_wave(self, jobs: Sequence[EpochJob]) -> List[EpochOutcome]:
+        raise NotImplementedError
+
+
+class SerialBackend(EpochExecutorBackend):
+    """Run every job inline, in order -- the debugging backend."""
+
+    name = "serial"
+    workers = 1
+
+    def run_wave(self, jobs: Sequence[EpochJob]) -> List[EpochOutcome]:
+        return _run_jobs(jobs)
+
+
+class _PooledBackend(EpochExecutorBackend):
+    """Shared chunking logic of the thread and process backends.
+
+    A wave is split into at most ``workers`` strided chunks; the calling
+    thread executes the first chunk itself (caller-runs) while the pool
+    chews the rest, so a wave costs at most ``workers - 1`` dispatches.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+
+    def _pool(self):
+        raise NotImplementedError
+
+    def _prepare(self, jobs: List[EpochJob]) -> List[EpochJob]:
+        return jobs
+
+    def run_wave(self, jobs: Sequence[EpochJob]) -> List[EpochOutcome]:
+        jobs = self._prepare(list(jobs))
+        if len(jobs) <= 1 or self.workers == 1:
+            return _run_jobs(jobs)
+        n_chunks = min(self.workers, len(jobs))
+        chunks = [jobs[c::n_chunks] for c in range(n_chunks)]
+        pool = self._pool()
+        futures = [pool.submit(_run_jobs, chunk) for chunk in chunks[1:]]
+        done = _run_jobs(chunks[0])
+        for fut in futures:
+            done.extend(fut.result())
+        return done
+
+
+#: Process-wide executor caches, one pool per worker count.  Pool
+#: start-up costs a few hundred microseconds (threads) to tens of
+#: milliseconds (processes) -- comparable to a whole small first phase
+#: -- so pools are kept warm across solves.  Pools are never shut down
+#: explicitly; ``concurrent.futures`` reaps them at interpreter exit.
+_THREAD_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _shared_thread_pool(workers: int) -> ThreadPoolExecutor:
+    pool = _THREAD_POOLS.get(workers)
+    if pool is None:
+        pool = _THREAD_POOLS.setdefault(
+            workers,
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-epoch"
+            ),
+        )
+    return pool
+
+
+def _mp_context():
+    """Fork on Linux only: child start-up is milliseconds and scripts
+    run as ``__main__`` need no re-import.  macOS nominally supports
+    fork but system frameworks abort forked children ("fork safety"),
+    and Windows has no fork -- both get the platform default (spawn).
+    Forking with warm pool threads alive draws a DeprecationWarning on
+    3.12+; it is benign here because the forked workers never touch the
+    parent's executor state, only their own pipe."""
+    if sys.platform == "linux":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _shared_process_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _PROCESS_POOLS.get(workers)
+    if pool is None:
+        pool = _PROCESS_POOLS.setdefault(
+            workers,
+            ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()),
+        )
+    return pool
+
+
+class ThreadBackend(_PooledBackend):
+    """Warm thread pool: shared memory, zero copying, GIL-cooperative."""
+
+    name = "thread"
+
+    def _pool(self) -> ThreadPoolExecutor:
+        return _shared_thread_pool(self.workers)
+
+
+class ProcessBackend(_PooledBackend):
+    """Warm process pool: pickled job slices, real CPU parallelism."""
+
+    name = "process"
+
+    def _prepare(self, jobs: List[EpochJob]) -> List[EpochJob]:
+        # Each wire job gets a *private clone* of its oracle, made here
+        # while nothing is executing yet.  Submitted jobs are pickled
+        # lazily by the pool's feeder thread, concurrently with the
+        # caller-runs chunk -- if jobs still shared one stateful oracle
+        # (Luby's per-epoch RNG dict), an inline job's mutation could
+        # race that pickling ("dictionary changed size during
+        # iteration").  Cloning up front seals every job completely.
+        prepared = []
+        for job in jobs:
+            wire = job.sliced()
+            wire.mis_oracle = pickle.loads(pickle.dumps(wire.mis_oracle))
+            prepared.append(wire)
+        return prepared
+
+    def _pool(self) -> ProcessPoolExecutor:
+        return _shared_process_pool(self.workers)
+
+    def run_wave(self, jobs: Sequence[EpochJob]) -> List[EpochOutcome]:
+        try:
+            return super().run_wave(jobs)
+        except BrokenProcessPool:
+            # A crashed worker poisons the whole executor; evict it so
+            # the next solve gets a fresh pool instead of instant
+            # re-failure from the warm cache.
+            _PROCESS_POOLS.pop(self.workers, None)
+            raise
+
+
+def make_backend(backend: Optional[str], workers: int) -> EpochExecutorBackend:
+    """Instantiate the named (or env-resolved) backend."""
+    name = resolve_backend(backend)
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(workers)
+    return ProcessBackend(workers)

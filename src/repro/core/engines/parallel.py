@@ -1,12 +1,13 @@
 """The parallel first-phase engine: plan -> execute -> merge.
 
-Executes the epoch waves of an :class:`~repro.core.plan.EpochPlan`
-concurrently (a ``concurrent.futures`` thread pool, ``workers=`` knob)
-and deterministically merges the per-epoch artifacts back into the
-sequential epoch order, so the result is **bit-identical** to
-``engine="incremental"``:
+Executes the epoch waves of an :class:`~repro.core.plan.EpochPlan` on a
+pluggable :class:`~repro.core.engines.backends.EpochExecutorBackend`
+(``backend="thread"`` (default) / ``"process"`` / ``"serial"``,
+``workers=`` knob) and deterministically merges the per-job artifacts
+back into the sequential epoch order, so the result is **bit-identical**
+to ``engine="incremental"``:
 
-* Each epoch job runs :func:`~repro.core.engines.incremental.run_epoch_incremental`
+* Each job runs :func:`~repro.core.engines.incremental.run_epoch_incremental`
   -- the exact incremental loop body -- over *plan-sliced* state: the
   epoch's members, its member-restricted conflict adjacency and reverse
   index, and a local :class:`~repro.core.dual.DualState` primed with the
@@ -24,19 +25,38 @@ sequential epoch order, so the result is **bit-identical** to
   sliced state legitimately touches fewer entries) differ from the
   incremental engine.
 
-Determinism does not depend on thread scheduling: wave membership is
-data-dependent only, per-epoch jobs are sealed off from each other, and
-every merge walks epochs in ascending order.  The bundled MIS oracles
-are safe to share across epoch threads (``greedy`` and ``hash`` are
-stateless; ``luby`` keeps one independent substream per epoch).  A
-custom oracle must likewise not share mutable state across epochs.
+Determinism does not depend on scheduling: wave membership is
+data-dependent only, jobs are sealed off from each other, and every
+merge walks epochs in ascending order -- which is why the *same*
+artifacts come back from a thread pool, a process pool, or inline
+serial execution.  The bundled MIS oracles are safe to share across
+epoch threads (``greedy`` and ``hash`` are stateless; ``luby`` keeps
+one independent substream per epoch) and picklable for the process
+backend.  A custom oracle must likewise not share mutable state across
+epochs, and must pickle if the process backend is used.
+
+Component granularity (relaxed)
+-------------------------------
+
+``plan_granularity="component"`` (opt-in) splits each epoch's
+*disconnected conflict components* into separate jobs, exposing
+parallelism inside an epoch -- the regime strict epoch waves cannot
+touch.  Components share no demand and no path edge, so every job still
+raises over a sealed dual slice and the merged output remains a valid
+first phase: feasible second-phase input, tight raises, certified
+``val/lambda >= p(Opt)``.  What changes is *accounting*: per-component
+stage/step loops run separately, so ``stages``/``steps``/``mis_rounds``
+(and the Luby draw sequences) differ from the strict engines -- the
+caller waives strict counter equality by opting in.  For the
+order-independent oracles (``greedy``, ``hash``) the multiset of raise
+events is conserved exactly.  Each job gets its own pickled *clone* of
+the MIS oracle so concurrent components of one epoch never share
+mutable oracle state.
 """
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.demand import DemandInstance
 from repro.core.dual import DualState, RaiseEvent, RaiseRule
@@ -45,63 +65,84 @@ from repro.core.engines.artifacts import (
     InstanceLayout,
     PhaseCounters,
 )
-from repro.core.engines.incremental import run_epoch_incremental
-from repro.core.plan import EpochPlan
+from repro.core.engines.backends import (
+    MAX_DEFAULT_WORKERS,
+    EpochExecutorBackend,
+    EpochJob,
+    EpochOutcome,
+    default_workers,
+    make_backend,
+    resolve_backend,
+    usable_cpu_count,
+)
+from repro.core.plan import EpochPlan, validate_granularity
 from repro.core.types import DemandId, EdgeKey
 from repro.distributed.conflict import ConflictAdjacency
 from repro.distributed.mis import MISOracle
 
-#: Default worker-pool size: the machine's cores, capped (epoch waves are
-#: rarely wider than this, and thread ramp-up isn't free).
-MAX_DEFAULT_WORKERS = 8
+__all__ = [
+    "MAX_DEFAULT_WORKERS",
+    "ParallelEpochExecutor",
+    "default_workers",
+    "run_first_phase_parallel",
+    "usable_cpu_count",
+]
 
 
-def default_workers() -> int:
-    """The ``workers=None`` resolution used by the parallel engine."""
-    return max(1, min(MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
+def _clone_oracle(mis_oracle: MISOracle) -> MISOracle:
+    """A private copy of the oracle via a pickle round-trip.
 
-
-#: Process-wide executor cache, one pool per worker count.  Thread
-#: start-up costs a few hundred microseconds -- comparable to a whole
-#: small first phase -- so pools are kept warm across runs.  Pools are
-#: never shut down explicitly; ``concurrent.futures`` wakes idle workers
-#: at interpreter exit.
-_POOLS: Dict[int, ThreadPoolExecutor] = {}
-
-
-def _shared_pool(workers: int) -> ThreadPoolExecutor:
-    pool = _POOLS.get(workers)
-    if pool is None:
-        pool = _POOLS.setdefault(
-            workers,
-            ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-epoch"
-            ),
-        )
-    return pool
-
-
-@dataclass
-class _EpochOutcome:
-    """Everything one epoch job produced, pending the ordered merge."""
-
-    epoch: int
-    events: List[RaiseEvent]
-    stack: List[List[DemandInstance]]
-    counters: PhaseCounters
-    alpha_writes: Dict[DemandId, float]
-    beta_writes: Dict[EdgeKey, float]
+    Component mode runs several jobs of the *same* epoch concurrently;
+    a shared stateful oracle (Luby's per-epoch RNG) would interleave
+    draws nondeterministically, so each job gets its own clone -- the
+    same sealing the process backend gets for free from pickling.
+    """
+    try:
+        return pickle.loads(pickle.dumps(mis_oracle))
+    except Exception as exc:
+        raise ValueError(
+            "plan_granularity='component' requires a picklable MIS oracle "
+            "(each component job runs over a private clone); "
+            f"could not pickle {mis_oracle!r}"
+        ) from exc
 
 
 class ParallelEpochExecutor:
-    """Runs a first phase as planned epoch waves over a thread pool."""
+    """Runs a first phase as planned epoch waves on an execution backend."""
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        plan_granularity: Optional[str] = None,
+    ) -> None:
+        env_resolved = backend is None
+        backend_name = resolve_backend(backend)
         if workers is None:
-            workers = default_workers()
+            workers = 1 if backend_name == "serial" else default_workers()
         if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
             raise ValueError(f"workers must be a positive integer, got {workers!r}")
+        if backend_name == "serial" and workers != 1:
+            if env_resolved:
+                # The caller asked for pooled workers and only the
+                # REPRO_BACKEND override said serial: honor the override
+                # (its whole point is running unmodified callers under a
+                # different backend) by coercing, not crashing.
+                workers = 1
+            else:
+                raise ValueError(
+                    f"backend='serial' runs one job at a time; workers={workers} "
+                    "would misattribute the schedule (use the thread or process "
+                    "backend for pooled execution)"
+                )
         self.workers = workers
+        self.plan_granularity = validate_granularity(plan_granularity or "epoch")
+        self.backend: EpochExecutorBackend = make_backend(backend_name, workers)
+
+    @property
+    def backend_name(self) -> str:
+        """The resolved execution backend ('thread', 'process' or 'serial')."""
+        return self.backend.name
 
     def run(
         self,
@@ -113,131 +154,116 @@ class ParallelEpochExecutor:
         conflict_adj: Optional[ConflictAdjacency] = None,
         plan: Optional[EpochPlan] = None,
     ) -> FirstPhaseArtifacts:
-        """Execute the first phase; artifacts match ``engine="incremental"``."""
+        """Execute the first phase; artifacts match ``engine="incremental"``
+        (under the default epoch granularity)."""
         if plan is None:
-            plan = EpochPlan.build(instances, layout, conflict_adj)
+            plan = EpochPlan.build(
+                instances, layout, conflict_adj, granularity=self.plan_granularity
+            )
+        split = self.plan_granularity == "component"
+        # Component jobs need sealed per-job oracles; the process backend
+        # already clones every wire job's oracle in _prepare, so cloning
+        # here too would just pickle each oracle twice.
+        clone_here = split and self.backend.name != "process"
+        thresholds = tuple(thresholds)
         master = DualState(use_height_rule=raise_rule.use_height_rule)
-        outcomes: Dict[int, _EpochOutcome] = {}
-
-        def job(epochs: Sequence[int]) -> List[_EpochOutcome]:
-            return [
-                self._run_epoch(
-                    epoch, plan, master, layout, raise_rule, thresholds, mis_oracle
-                )
-                for epoch in epochs
-            ]
-
+        outcomes: Dict[Tuple[int, int], EpochOutcome] = {}
         for wave in plan.waves:
-            runnable = [k for k in wave if plan.members.get(k)]
-            if len(runnable) > 1 and self.workers > 1:
-                # Chunk the wave into at most `workers` jobs; the calling
-                # thread executes the first chunk itself (caller-runs), so
-                # a wave costs at most workers-1 future dispatches.
-                n_chunks = min(self.workers, len(runnable))
-                chunks = [runnable[c::n_chunks] for c in range(n_chunks)]
-                pool = _shared_pool(self.workers)
-                futures = [pool.submit(job, chunk) for chunk in chunks[1:]]
-                done = job(chunks[0])
-                for fut in futures:
-                    done.extend(fut.result())
-                for out in done:
-                    outcomes[out.epoch] = out
-            else:
-                for out in job(runnable):
-                    outcomes[out.epoch] = out
+            jobs: List[EpochJob] = []
+            for epoch in wave:
+                if not plan.members.get(epoch):
+                    continue
+                primed_alpha, primed_beta = self._primed(master, plan, epoch)
+                if split:
+                    for c, (members, adjacency, index) in enumerate(
+                        plan.component_slices(epoch)
+                    ):
+                        jobs.append(
+                            EpochJob(
+                                epoch, c, members, index, adjacency, layout,
+                                raise_rule, thresholds,
+                                _clone_oracle(mis_oracle) if clone_here
+                                else mis_oracle,
+                                primed_alpha, primed_beta,
+                            )
+                        )
+                else:
+                    jobs.append(
+                        EpochJob(
+                            epoch, 0, plan.members[epoch], plan.index[epoch],
+                            plan.adjacency[epoch], layout, raise_rule,
+                            thresholds, mis_oracle, primed_alpha, primed_beta,
+                        )
+                    )
+            if not jobs:
+                continue
+            for out in self.backend.run_wave(jobs):
+                outcomes[out.sort_key] = out
             # The master dual is frozen while a wave runs; merge the
             # wave's (disjoint) writes afterwards, in epoch order.
-            for k in sorted(runnable):
-                master.alpha.update(outcomes[k].alpha_writes)
-                master.beta.update(outcomes[k].beta_writes)
+            for key in sorted((job.epoch, job.component) for job in jobs):
+                master.alpha.update(outcomes[key].alpha_writes)
+                master.beta.update(outcomes[key].beta_writes)
         return self._merge(plan, layout, master, outcomes)
 
-    def _run_epoch(
-        self,
-        epoch: int,
-        plan: EpochPlan,
-        master: DualState,
-        layout: InstanceLayout,
-        raise_rule: RaiseRule,
-        thresholds: Sequence[float],
-        mis_oracle: MISOracle,
-    ) -> _EpochOutcome:
-        """Run one epoch over sealed, plan-sliced state."""
-        members = plan.members[epoch]
-        by_id = {d.instance_id: d for d in members}
-        local = DualState(use_height_rule=raise_rule.use_height_rule)
-        # Prime the local dual with every master value the epoch can
-        # read.  Only keys *shared* with other epochs can carry inherited
-        # values -- everything else the epoch touches is private to it --
-        # so the scan is over the plan's (typically tiny) shared-key sets
-        # rather than all member path edges.  The first wave always sees
-        # an empty master and skips even that.
+    @staticmethod
+    def _primed(
+        master: DualState, plan: EpochPlan, epoch: int
+    ) -> Tuple[Dict[DemandId, float], Dict[EdgeKey, float]]:
+        """Master dual values *epoch*'s members can read.
+
+        Only keys *shared* with other epochs can carry inherited values
+        -- everything else the epoch touches is private to it -- so the
+        scan is over the plan's (typically tiny) shared-key sets rather
+        than all member path edges.  The first wave always sees an empty
+        master and skips even that.  Component jobs of one epoch share
+        this priming: a primed key a component never touches is filtered
+        from its writes as unchanged.
+        """
         primed_alpha: Dict[DemandId, float] = {}
         primed_beta: Dict[EdgeKey, float] = {}
         if master.alpha or master.beta:
             for a in plan.shared_demands[epoch]:
                 if a in master.alpha:
-                    primed_alpha[a] = local.alpha[a] = master.alpha[a]
+                    primed_alpha[a] = master.alpha[a]
             for e in plan.shared_edges[epoch]:
                 if e in master.beta:
-                    primed_beta[e] = local.beta[e] = master.beta[e]
-        events: List[RaiseEvent] = []
-        stack: List[List[DemandInstance]] = []
-        counters = PhaseCounters()
-        run_epoch_incremental(
-            epoch, members, by_id, local, plan.index[epoch],
-            plan.adjacency[epoch], layout, raise_rule, thresholds,
-            mis_oracle, events, stack, counters, order=0,
-        )
-        if primed_alpha:
-            alpha_writes = {
-                k: v for k, v in local.alpha.items()
-                if k not in primed_alpha or primed_alpha[k] != v
-            }
-        else:
-            alpha_writes = local.alpha
-        if primed_beta:
-            beta_writes = {
-                k: v for k, v in local.beta.items()
-                if k not in primed_beta or primed_beta[k] != v
-            }
-        else:
-            beta_writes = local.beta
-        return _EpochOutcome(epoch, events, stack, counters, alpha_writes, beta_writes)
+                    primed_beta[e] = master.beta[e]
+        return primed_alpha, primed_beta
 
     def _merge(
         self,
         plan: EpochPlan,
         layout: InstanceLayout,
         master: DualState,
-        outcomes: Dict[int, _EpochOutcome],
+        outcomes: Dict[Tuple[int, int], EpochOutcome],
     ) -> FirstPhaseArtifacts:
-        """Reassemble artifacts in sequential epoch order.
+        """Reassemble artifacts in sequential (epoch, component) order.
 
         The master dual accumulated its writes in *wave* order, but dict
         iteration order is insertion order and ``DualState.value()`` sums
         the values in that order -- float addition is not associative, so
         the sequential engines' epoch-major key order must be reproduced
-        exactly.  Replaying the per-epoch writes into a fresh dual in
+        exactly.  Replaying the per-job writes into a fresh dual in
         ascending epoch order recreates it: a key keeps the position of
         the first epoch that wrote it (later writes only overwrite the
         value), which is precisely when the incremental engine would have
         created it.
         """
         final = DualState(use_height_rule=master.use_height_rule)
-        for epoch in sorted(outcomes):
-            final.alpha.update(outcomes[epoch].alpha_writes)
-            final.beta.update(outcomes[epoch].beta_writes)
+        for key in sorted(outcomes):
+            final.alpha.update(outcomes[key].alpha_writes)
+            final.beta.update(outcomes[key].beta_writes)
         events: List[RaiseEvent] = []
         stack: List[List[DemandInstance]] = []
         counters = PhaseCounters(
             epochs=layout.n_epochs,
             wavefronts=plan.n_waves,
-            workers_used=self.workers,
+            workers_used=self.backend.workers,
         )
         order = 0
-        for epoch in sorted(outcomes):
-            out = outcomes[epoch]
+        for key in sorted(outcomes):
+            out = outcomes[key]
             for ev in out.events:
                 # The event objects are exclusively ours (created by this
                 # run's epoch jobs), so renumbering them in place is safe
@@ -270,9 +296,13 @@ def run_first_phase_parallel(
     conflict_adj: Optional[ConflictAdjacency] = None,
     workers: Optional[int] = None,
     plan: Optional[EpochPlan] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> FirstPhaseArtifacts:
     """Engine entry point matching the reference/incremental signatures."""
-    executor = ParallelEpochExecutor(workers=workers)
+    executor = ParallelEpochExecutor(
+        workers=workers, backend=backend, plan_granularity=plan_granularity
+    )
     return executor.run(
         instances, layout, raise_rule, thresholds, mis_oracle,
         conflict_adj=conflict_adj, plan=plan,

@@ -46,14 +46,24 @@ behind the ``engine=`` switch of :func:`run_two_phase` /
   (:mod:`repro.core.engines.parallel`): an
   :class:`~repro.core.plan.EpochPlan` partitions the epochs into
   *waves* of epochs that share no path edge and no demand, each wave
-  runs concurrently over per-epoch incremental state (``workers=``
-  knob), and the per-epoch artifacts are merged back in epoch order.
+  runs concurrently over per-epoch incremental state, and the per-epoch
+  artifacts are merged back in epoch order.  Two further knobs shape
+  *how* waves execute: ``backend=`` picks the execution substrate
+  (``"thread"`` pool (default), ``"process"`` pool with pickled job
+  slices for real CPU parallelism, or ``"serial"`` for debugging; see
+  :mod:`repro.core.engines.backends`) and ``workers=`` sizes the pool.
+  ``plan_granularity="component"`` (opt-in, relaxed) additionally
+  splits each epoch's disconnected conflict components into separate
+  jobs; solutions stay feasible and certified but the schedule counters
+  are no longer bit-identical to the serial engines.
 
-All engines produce bit-identical artifacts (solutions, raise events,
-stacks, schedule counters) for the bundled MIS oracles; the golden
-equivalence suite in ``tests/test_engine_equivalence.py`` enforces
-this.  :class:`PhaseCounters` exposes ``satisfaction_checks`` and
-``adjacency_touches`` so the asymptotic win is measurable (see
+All engines -- and all parallel backends -- produce bit-identical
+artifacts (solutions, raise events, stacks, schedule counters) for the
+bundled MIS oracles under the default epoch granularity; the golden
+suites in ``tests/test_engine_equivalence.py`` and
+``tests/test_backends.py`` enforce this.  :class:`PhaseCounters`
+exposes ``satisfaction_checks`` and ``adjacency_touches`` so the
+asymptotic win is measurable (see
 ``benchmarks/bench_e16_engine_scaling.py`` and
 ``benchmarks/bench_e17_parallel_epochs.py``).
 """
@@ -65,6 +75,7 @@ from typing import List, Optional, Sequence
 from repro.core.demand import DemandInstance
 from repro.core.dual import DualState, RaiseEvent, RaiseRule
 from repro.core.engines import (
+    BACKENDS,
     FirstPhaseArtifacts,
     InstanceLayout,
     PhaseCounters,
@@ -72,6 +83,9 @@ from repro.core.engines import (
     run_first_phase_parallel,
     run_first_phase_reference,
 )
+from repro.core.engines import validate_backend as _validate_backend_name
+from repro.core.plan import GRANULARITIES
+from repro.core.plan import validate_granularity as _validate_granularity_name
 from repro.core.result import TwoPhaseResult
 from repro.core.solution import CapacityLedger, Solution
 from repro.distributed.conflict import ConflictAdjacency, build_conflict_graph
@@ -92,6 +106,30 @@ def validate_engine(engine: str) -> str:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     return engine
+
+
+def validate_backend(backend: Optional[str]) -> Optional[str]:
+    """Validate a parallel-engine backend name (``None`` = default).
+
+    Delegates to :func:`repro.core.engines.backends.validate_backend`,
+    the single source of truth for the backend registry; ``None`` passes
+    through (it resolves to the ``REPRO_BACKEND`` environment variable
+    or ``"thread"`` inside the parallel engine).
+    """
+    if backend is None:
+        return None
+    return _validate_backend_name(backend)
+
+
+def validate_plan_granularity(plan_granularity: Optional[str]) -> Optional[str]:
+    """Validate a planner granularity name (``None`` = ``"epoch"``).
+
+    Delegates to :func:`repro.core.plan.validate_granularity`, the
+    single source of truth for the granularity registry.
+    """
+    if plan_granularity is None:
+        return None
+    return _validate_granularity_name(plan_granularity)
 
 
 def geometric_thresholds(xi: float, epsilon: float) -> List[float]:
@@ -141,13 +179,18 @@ def run_first_phase(
     conflict_adj: Optional[ConflictAdjacency] = None,
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> FirstPhaseArtifacts:
     """Run the first phase (Figure 7) and return its artifacts.
 
     ``engine`` selects the implementation (see the module docstring);
     all engines produce identical artifacts for the bundled MIS oracles.
-    ``workers`` sizes the parallel engine's thread pool (default: the
-    machine's cores, capped) and is rejected for the serial engines.
+    ``workers`` sizes the parallel engine's pool (default: the usable
+    CPUs, capped), ``backend`` its execution substrate ('thread',
+    'process' or 'serial'), and ``plan_granularity`` the planner mode
+    ('epoch' strict, 'component' relaxed); all three are rejected for
+    the serial engines.
     """
     if not thresholds:
         raise ValueError("at least one stage threshold is required")
@@ -157,12 +200,18 @@ def run_first_phase(
         # graph (with its never-consulted cross-epoch pairs) is needed.
         return run_first_phase_parallel(
             instances, layout, raise_rule, thresholds, mis_oracle,
-            conflict_adj=conflict_adj, workers=workers,
+            conflict_adj=conflict_adj, workers=workers, backend=backend,
+            plan_granularity=plan_granularity,
         )
-    if workers is not None:
-        raise ValueError(
-            f"workers= applies only to engine='parallel', not {engine!r}"
-        )
+    for knob, value in (
+        ("workers", workers),
+        ("backend", backend),
+        ("plan_granularity", plan_granularity),
+    ):
+        if value is not None:
+            raise ValueError(
+                f"{knob}= applies only to engine='parallel', not {engine!r}"
+            )
     if conflict_adj is None:
         conflict_adj = build_conflict_graph(instances)
     impl = {
@@ -193,6 +242,8 @@ def run_two_phase(
     seed: int = 0,
     engine: str = "reference",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    plan_granularity: Optional[str] = None,
 ) -> TwoPhaseResult:
     """Run both phases and assemble a :class:`TwoPhaseResult`.
 
@@ -200,12 +251,15 @@ def run_two_phase(
     ``seed`` makes randomized runs reproducible; ``engine`` selects the
     first-phase implementation (``'reference'``, ``'incremental'`` or
     ``'parallel'``, equivalent by construction -- see the module
-    docstring); ``workers`` sizes the parallel engine's pool.
+    docstring); ``workers``, ``backend`` and ``plan_granularity``
+    configure the parallel engine's pool, execution substrate and
+    planner mode.
     """
     oracle = make_mis_oracle(mis, seed)
     dual, stack, events, counters = run_first_phase(
         instances, layout, raise_rule, thresholds, oracle,
-        engine=engine, workers=workers,
+        engine=engine, workers=workers, backend=backend,
+        plan_granularity=plan_granularity,
     )
     solution = run_second_phase(stack)
     counters.phase2_rounds = len(stack)

@@ -35,7 +35,26 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.demand import DemandInstance
 from repro.core.engines.artifacts import InstanceLayout, group_members
 from repro.core.types import InstanceId
-from repro.distributed.conflict import ConflictAdjacency, InstanceIndex
+from repro.distributed.conflict import (
+    ConflictAdjacency,
+    InstanceIndex,
+    build_instance_index,
+)
+
+#: Planner granularities: ``"epoch"`` (strict, bit-identical to the
+#: serial engines) and ``"component"`` (split one epoch's disconnected
+#: conflict components into separate jobs; relaxed counter contract).
+GRANULARITIES = ("epoch", "component")
+
+
+def validate_granularity(granularity: str) -> str:
+    """Validate a planner granularity name (the single source of truth)."""
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown plan granularity {granularity!r}; "
+            f"choose from {GRANULARITIES}"
+        )
+    return granularity
 
 
 @dataclass
@@ -63,6 +82,12 @@ class EpochPlan:
     shared_demands: Dict[int, Set] = field(default_factory=dict)
     #: independence classes in execution order.
     waves: List[List[int]] = field(default_factory=list)
+    #: the granularity this plan was built for (informational; the
+    #: component cache below is filled lazily either way).
+    granularity: str = "epoch"
+    #: epoch -> connected components of its conflict graph, as member-id
+    #: lists ordered by smallest id (lazy cache; see epoch_components).
+    components: Dict[int, List[List[InstanceId]]] = field(default_factory=dict)
 
     @property
     def n_waves(self) -> int:
@@ -78,6 +103,60 @@ class EpochPlan:
             for wave in self.waves
         ]
         return max(widths, default=0)
+
+    def epoch_components(self, epoch: int) -> List[List[InstanceId]]:
+        """Connected components of *epoch*'s conflict graph (cached).
+
+        Members of different components share no demand and no path edge
+        (sharing either is a conflict), so their dual reads and writes
+        are disjoint: each component can run the first-phase loop on its
+        own and the union reproduces the epoch's feasible output -- the
+        relaxed ``plan_granularity="component"`` mode.  Components are
+        listed by ascending smallest member id, members sorted within,
+        so the split is deterministic.
+        """
+        cached = self.components.get(epoch)
+        if cached is None:
+            adj = self.adjacency[epoch]
+            seen: Set[InstanceId] = set()
+            comps: List[List[InstanceId]] = []
+            for root in sorted(adj):
+                if root in seen:
+                    continue
+                comp = [root]
+                seen.add(root)
+                frontier = [root]
+                while frontier:
+                    for nb in adj[frontier.pop()]:
+                        if nb not in seen:
+                            seen.add(nb)
+                            comp.append(nb)
+                            frontier.append(nb)
+                comps.append(sorted(comp))
+            cached = self.components.setdefault(epoch, comps)
+        return cached
+
+    def component_slices(
+        self, epoch: int
+    ) -> List[Tuple[List[DemandInstance], ConflictAdjacency, InstanceIndex]]:
+        """Per-component ``(members, adjacency, index)`` slices of *epoch*.
+
+        Members keep their global input order; adjacency neighbor sets
+        are shared with (already lie within) the epoch slice; the
+        reverse index is rebuilt over the component's members only
+        (via :func:`~repro.distributed.conflict.build_instance_index`,
+        the same constructor the incremental engine uses globally).
+        These are exactly the job ingredients the parallel engine hands
+        a backend under ``plan_granularity="component"``.
+        """
+        epoch_adj = self.adjacency[epoch]
+        slices = []
+        for ids in self.epoch_components(epoch):
+            keep = set(ids)
+            members = [d for d in self.members[epoch] if d.instance_id in keep]
+            adjacency = {i: epoch_adj[i] for i in ids}
+            slices.append((members, adjacency, build_instance_index(members)))
+        return slices
 
     def verify(self) -> None:
         """Check the plan's defining invariants (for tests and benches).
@@ -110,14 +189,19 @@ class EpochPlan:
         instances: Sequence[DemandInstance],
         layout: InstanceLayout,
         conflict_adj: Optional[ConflictAdjacency] = None,
+        granularity: str = "epoch",
     ) -> "EpochPlan":
         """Build the plan for *instances* under *layout*.
 
         When *conflict_adj* (a prebuilt global conflict graph) is given,
         per-epoch adjacency is sliced from it; otherwise each group's
         conflict graph is built directly -- cheaper, since cross-epoch
-        conflict pairs are never materialized.
+        conflict pairs are never materialized.  ``granularity="component"``
+        additionally precomputes each epoch's conflict components (the
+        lazily-cached :meth:`epoch_components`) for the relaxed
+        component-split execution mode.
         """
+        validate_granularity(granularity)
         groups = group_members(instances, layout)
         members: Dict[int, List[DemandInstance]] = {}
         adjacency: Dict[int, ConflictAdjacency] = {}
@@ -196,5 +280,9 @@ class EpochPlan:
             shared_edges=shared_edges,
             shared_demands=shared_demands,
             waves=waves,
+            granularity=granularity,
         )
+        if granularity == "component":
+            for epoch in groups:
+                plan.epoch_components(epoch)
         return plan

@@ -52,3 +52,33 @@ class TwoPhaseResult:
         if not self.events:
             return 0
         return max(len(ev.critical_edges) for ev in self.events)
+
+    def semantic_tuple(self):
+        """The run's engine-independent artifact, as one comparable value.
+
+        Everything the bit-identity contract covers, in one tuple: the
+        selected instance ids, the full raise log (order, instance,
+        exact float delta, critical edges, step coordinate), the stack
+        shape, the schedule counters
+        (:meth:`~repro.core.engines.artifacts.PhaseCounters.semantic_tuple`),
+        and the final dual assignments *as ordered items* -- so two runs
+        compare equal only if their dual dicts also agree on insertion
+        order, which ``DualState.value()`` (float summation order) and
+        downstream certificates depend on.  The cross-engine/backends
+        differential harness (``tests/test_backends.py``) compares
+        exactly this.
+        """
+        return (
+            tuple(d.instance_id for d in self.solution.selected),
+            tuple(
+                (e.order, e.instance.instance_id, e.delta,
+                 e.critical_edges, e.step_tuple)
+                for e in self.events
+            ),
+            tuple(
+                tuple(d.instance_id for d in batch) for batch in self.stack
+            ),
+            self.counters.semantic_tuple(),
+            tuple(self.dual.alpha.items()),
+            tuple(self.dual.beta.items()),
+        )

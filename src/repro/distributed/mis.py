@@ -150,6 +150,57 @@ def luby_substream_seed(seed: int, epoch: int) -> int:
     return seed * 0x9E3779B1 + epoch
 
 
+class LubyOracle:
+    """Luby's MIS with one independent RNG substream per epoch.
+
+    A module-level class (not a closure) so the oracle *pickles*: the
+    parallel engine's process backend ships each epoch job -- oracle
+    included -- to a worker process, and its component mode clones the
+    oracle per job via a pickle round-trip.  An unpickled copy starts
+    epoch substreams from the same derived seeds, so it draws exactly
+    the priorities the original would for any epoch it has not yet
+    touched -- which is every epoch the copy will run, since an epoch
+    executes on exactly one worker.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rngs: Dict[int, random.Random] = {}
+
+    def __call__(
+        self,
+        candidates: Sequence[DemandInstance],
+        adjacency: ConflictAdjacency,
+        context: Optional[StepContext] = None,
+    ) -> Tuple[Set[InstanceId], int]:
+        epoch = context[0] if context is not None else 0
+        rng = self._rngs.get(epoch)
+        if rng is None:
+            # dict.setdefault is atomic under the GIL, and an epoch
+            # only ever runs on one worker, so lazy creation is safe.
+            rng = self._rngs.setdefault(
+                epoch, random.Random(luby_substream_seed(self.seed, epoch))
+            )
+        return luby_mis(candidates, adjacency, rng)
+
+
+class HashLubyOracle:
+    """Hash-priority Luby: stateless, shareable, trivially picklable."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def __call__(
+        self,
+        candidates: Sequence[DemandInstance],
+        adjacency: ConflictAdjacency,
+        context: Optional[StepContext] = None,
+    ) -> Tuple[Set[InstanceId], int]:
+        if context is None:
+            raise ValueError("hash MIS oracle needs a step context")
+        return hash_luby_mis(candidates, adjacency, context, self.seed)
+
+
 def make_mis_oracle(kind: str, seed: int) -> MISOracle:
     """Build an MIS oracle.
 
@@ -158,34 +209,17 @@ def make_mis_oracle(kind: str, seed: int) -> MISOracle:
     protocol) or ``'greedy'`` (deterministic sweep).
 
     All three factory-made oracles are safe to share across concurrently
-    executing epochs: ``greedy`` and ``hash`` are stateless, and
-    ``'luby'`` keys its mutable RNG state by the context's epoch, so
-    each epoch consumes only its own substream regardless of how epoch
-    executions interleave.
+    executing epochs (``greedy`` and ``hash`` are stateless; ``'luby'``
+    keys its mutable RNG state by the context's epoch, so each epoch
+    consumes only its own substream regardless of how epoch executions
+    interleave) and all three pickle -- the wire requirement of the
+    parallel engine's process backend and component mode
+    (``tests/test_picklability.py``).
     """
     if kind == "greedy":
         return greedy_mis
     if kind == "luby":
-        rngs: Dict[int, random.Random] = {}
-
-        def rng_oracle(candidates, adjacency, context=None):
-            epoch = context[0] if context is not None else 0
-            rng = rngs.get(epoch)
-            if rng is None:
-                # dict.setdefault is atomic under the GIL, and an epoch
-                # only ever runs on one worker, so lazy creation is safe.
-                rng = rngs.setdefault(
-                    epoch, random.Random(luby_substream_seed(seed, epoch))
-                )
-            return luby_mis(candidates, adjacency, rng)
-
-        return rng_oracle
+        return LubyOracle(seed)
     if kind == "hash":
-
-        def hash_oracle(candidates, adjacency, context=None):
-            if context is None:
-                raise ValueError("hash MIS oracle needs a step context")
-            return hash_luby_mis(candidates, adjacency, context, seed)
-
-        return hash_oracle
+        return HashLubyOracle(seed)
     raise ValueError(f"unknown MIS oracle kind: {kind!r}")

@@ -1,0 +1,210 @@
+"""Golden cross-engine differential harness for the execution backends.
+
+The parallel engine's three backends (thread pool, process pool, inline
+serial) must be **bit-identical** to ``engine="incremental"`` -- and to
+each other -- under the default epoch granularity, for every registry
+workload and every bundled MIS oracle.  One comparable value captures
+the whole contract: :meth:`TwoPhaseResult.semantic_tuple` folds the
+selected ids, the full raise log (exact float deltas), the stack shape,
+the schedule counters and the final dual assignments *as ordered items*
+into a single tuple, so any divergence -- including a dual dict whose
+keys were created in a different order, which would silently change
+``DualState.value()``'s float summation -- fails loudly.
+
+The full sweep (every workload x oracle x backend, reference engine
+included) is marked ``slow``; the quick CI legs run the unmarked smoke
+subset (`-m "not slow"`), which still crosses every backend.
+"""
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.algorithms.arbitrary_lines import solve_arbitrary_lines
+from repro.algorithms.arbitrary_trees import solve_arbitrary_trees
+from repro.core.engines import BACKENDS
+from repro.workloads import build_workload, get_workload, workload_names
+
+ORACLES = ("greedy", "luby", "hash")
+
+#: (size, seed, epsilon) per workload kind; fixed scenarios ignore size.
+SWEEP_SIZE = 26
+SWEEP_SEED = 4
+EPSILON = {"tree": 0.25, "line": 0.3}
+
+#: Per-(workload, oracle) incremental/reference runs are shared across
+#: the backend parametrization; solving them once keeps the sweep from
+#: being quadratically slow.
+_BASELINES = {}
+
+
+def solve(name, mis, **kwargs):
+    """Solve a registry workload with the algorithm family its kind
+    demands (arbitrary-heights entry points subsume unit/narrow/wide)."""
+    spec = get_workload(name)
+    problem = build_workload(name, SWEEP_SIZE, seed=SWEEP_SEED)
+    solver = solve_arbitrary_trees if spec.kind == "tree" else solve_arbitrary_lines
+    return solver(
+        problem, epsilon=EPSILON[spec.kind], mis=mis, seed=SWEEP_SEED, **kwargs
+    )
+
+
+def baseline(name, mis):
+    key = (name, mis)
+    if key not in _BASELINES:
+        _BASELINES[key] = {
+            "incremental": solve(name, mis, engine="incremental"),
+            "reference": solve(name, mis, engine="reference"),
+        }
+    return _BASELINES[key]
+
+
+def assert_identical_reports(expected, got, what):
+    """Bit-identity of two reports via semantic tuples, recursing into
+    the wide/narrow parts of composite algorithms."""
+    assert set(expected.parts) == set(got.parts), what
+    if expected.result is not None or got.result is not None:
+        a, b = expected.result, got.result
+        assert a.semantic_tuple() == b.semantic_tuple(), (
+            f"{what}: semantic tuples diverged"
+        )
+        # Insertion order of the dual dicts, asserted explicitly: the
+        # semantic tuple covers it via ordered items, but a bare key
+        # listing names the first out-of-place key on failure.
+        assert list(a.dual.alpha) == list(b.dual.alpha), what
+        assert list(a.dual.beta) == list(b.dual.beta), what
+    assert expected.guarantee == got.guarantee, what
+    assert expected.certified_upper_bound == got.certified_upper_bound, what
+    for part in expected.parts:
+        assert_identical_reports(expected.parts[part], got.parts[part], f"{what}/{part}")
+
+
+class TestGoldenSweep:
+    """Every registry workload x engine x backend x oracle."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("mis", ORACLES)
+    @pytest.mark.parametrize("name", workload_names())
+    def test_backend_matches_incremental(self, name, mis, backend):
+        base = baseline(name, mis)
+        workers = 1 if backend == "serial" else 2
+        par = solve(
+            name, mis, engine="parallel", workers=workers, backend=backend
+        )
+        assert_identical_reports(
+            base["incremental"], par, f"{name}/{mis}/parallel-{backend}"
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("mis", ORACLES)
+    @pytest.mark.parametrize("name", workload_names())
+    def test_reference_matches_incremental(self, name, mis):
+        base = baseline(name, mis)
+        assert_identical_reports(
+            base["reference"], base["incremental"], f"{name}/{mis}/reference"
+        )
+
+
+class TestSmokeSweep:
+    """The always-on subset: one tree and one line family, every backend."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("mis", ("greedy", "luby"))
+    @pytest.mark.parametrize("name", ("multi-tenant-forest", "bursty-lines"))
+    def test_backend_matches_incremental(self, name, mis, backend):
+        base = baseline(name, mis)
+        workers = 1 if backend == "serial" else 2
+        par = solve(
+            name, mis, engine="parallel", workers=workers, backend=backend
+        )
+        assert_identical_reports(
+            base["incremental"], par, f"{name}/{mis}/parallel-{backend}"
+        )
+
+
+class TestBackendKnob:
+    def test_unknown_backend_rejected_early(self):
+        problem = build_workload("multi-tenant-forest", 12, seed=0)
+        with pytest.raises(ValueError, match="unknown backend"):
+            solve_arbitrary_trees(problem, engine="parallel", backend="gpu")
+
+    @pytest.mark.parametrize("knob", ["backend", "plan_granularity"])
+    @pytest.mark.parametrize("engine", ["reference", "incremental"])
+    def test_parallel_knobs_rejected_for_serial_engines(self, engine, knob):
+        from repro.algorithms.base import tree_layouts
+        from repro.core.dual import UnitRaise
+        from repro.core.framework import run_two_phase
+
+        problem = build_workload("multi-tenant-forest", 12, seed=0)
+        layout, _ = tree_layouts(problem, "ideal")
+        value = "serial" if knob == "backend" else "component"
+        with pytest.raises(ValueError, match=f"{knob}= applies only"):
+            run_two_phase(
+                problem.instances, layout, UnitRaise(), [0.9],
+                mis="greedy", engine=engine, **{knob: value},
+            )
+
+    def test_serial_backend_rejects_pooled_workers(self):
+        from repro.core.engines import ParallelEpochExecutor
+
+        with pytest.raises(ValueError, match="serial"):
+            ParallelEpochExecutor(workers=3, backend="serial")
+        assert ParallelEpochExecutor(backend="serial").workers == 1
+
+    def test_validation_is_single_sourced(self):
+        from repro.algorithms.base import validate_backend as base_validate
+        from repro.core.framework import validate_backend as fw_validate
+
+        with pytest.raises(ValueError) as base_err:
+            base_validate("warp")
+        with pytest.raises(ValueError) as fw_err:
+            fw_validate("warp")
+        assert str(base_err.value) == str(fw_err.value)
+        assert base_validate("process") == "process"
+        assert base_validate(None) is None
+
+    def test_env_var_resolves_default_backend(self):
+        # The CI smoke leg runs the unmodified suite under
+        # REPRO_BACKEND=process; resolution must honor it only when the
+        # caller left backend=None.
+        code = (
+            "from repro.core.engines import ParallelEpochExecutor;"
+            "assert ParallelEpochExecutor(workers=2).backend_name == 'process';"
+            "assert ParallelEpochExecutor(workers=2, backend='thread')"
+            ".backend_name == 'thread';"
+            "print('ok')"
+        )
+        env = dict(os.environ, REPRO_BACKEND="process")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.returncode == 0, out.stderr
+        assert "ok" in out.stdout
+
+    def test_env_var_with_unknown_backend_fails(self):
+        from repro.core.engines import resolve_backend
+
+        assert resolve_backend(None) in BACKENDS
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("quantum")
+
+    def test_env_resolved_serial_coerces_pooled_workers(self, monkeypatch):
+        # REPRO_BACKEND=serial must run unmodified callers that pass
+        # workers=N with backend=None -- coercing to one worker, not
+        # crashing; the workers/serial conflict error is reserved for an
+        # *explicit* backend='serial'.
+        from repro.core.engines import ParallelEpochExecutor
+
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        executor = ParallelEpochExecutor(workers=4)
+        assert executor.backend_name == "serial"
+        assert executor.workers == 1
+        with pytest.raises(ValueError, match="serial"):
+            ParallelEpochExecutor(workers=4, backend="serial")

@@ -11,6 +11,8 @@ import pytest
 
 from repro.algorithms.base import line_layouts, tree_layouts
 from repro.core.dual import HeightRaise, UnitRaise
+from repro.core.engines import backends as backends_mod
+from repro.core.engines.backends import MAX_DEFAULT_WORKERS, usable_cpu_count
 from repro.core.engines.parallel import ParallelEpochExecutor, default_workers
 from repro.core.framework import (
     geometric_thresholds,
@@ -60,6 +62,67 @@ class TestWorkersKnob:
     def test_default_workers_positive(self):
         assert default_workers() >= 1
         assert ParallelEpochExecutor().workers == default_workers()
+
+
+class TestUsableCpuCount:
+    """default_workers must size against the CPUs the *process* may use
+    (affinity masks, cgroup cpusets), not the machine's total count --
+    the probes are resolved through the os module so they can be pinned
+    here."""
+
+    def test_process_cpu_count_probe_wins(self, monkeypatch):
+        # os.process_cpu_count (3.13+) is affinity-aware; when present
+        # it is authoritative even if os.cpu_count says otherwise.
+        monkeypatch.setattr(
+            backends_mod.os, "process_cpu_count", lambda: 3, raising=False
+        )
+        monkeypatch.setattr(backends_mod.os, "cpu_count", lambda: 64)
+        assert usable_cpu_count() == 3
+        assert default_workers() == 3
+
+    def test_affinity_probe_caps_cpu_count(self, monkeypatch):
+        # Without process_cpu_count, a 2-CPU affinity mask on a 64-CPU
+        # machine must yield 2 workers, not 8.
+        monkeypatch.setattr(
+            backends_mod.os, "process_cpu_count", None, raising=False
+        )
+        monkeypatch.setattr(
+            backends_mod.os, "sched_getaffinity", lambda pid: {0, 5},
+            raising=False,
+        )
+        monkeypatch.setattr(backends_mod.os, "cpu_count", lambda: 64)
+        assert usable_cpu_count() == 2
+        assert default_workers() == 2
+
+    def test_failing_affinity_probe_falls_back_to_cpu_count(self, monkeypatch):
+        def boom(pid):
+            raise OSError("no affinity support")
+
+        monkeypatch.setattr(
+            backends_mod.os, "process_cpu_count", None, raising=False
+        )
+        monkeypatch.setattr(
+            backends_mod.os, "sched_getaffinity", boom, raising=False
+        )
+        monkeypatch.setattr(backends_mod.os, "cpu_count", lambda: 6)
+        assert usable_cpu_count() == 6
+
+    def test_unknown_probes_yield_one(self, monkeypatch):
+        monkeypatch.setattr(
+            backends_mod.os, "process_cpu_count", None, raising=False
+        )
+        monkeypatch.delattr(
+            backends_mod.os, "sched_getaffinity", raising=False
+        )
+        monkeypatch.setattr(backends_mod.os, "cpu_count", lambda: None)
+        assert usable_cpu_count() == 1
+        assert default_workers() == 1
+
+    def test_default_workers_cap(self, monkeypatch):
+        monkeypatch.setattr(
+            backends_mod.os, "process_cpu_count", lambda: 128, raising=False
+        )
+        assert default_workers() == MAX_DEFAULT_WORKERS
 
     def test_workers_rejected_for_serial_engines(self):
         problem, layout, rule, thresholds = setup_case(
@@ -115,9 +178,12 @@ class TestExecutor:
             "multi-tenant-forest", 40, seed=9
         )
         plan = EpochPlan.build(problem.instances, layout)
+        # backend pinned: a REPRO_BACKEND=serial override would truthfully
+        # report workers_used=1 and fail the attribution assertion below.
         result = run_two_phase(
             problem.instances, layout, rule, thresholds,
             mis="greedy", seed=9, engine="parallel", workers=3,
+            backend="thread",
         )
         assert result.counters.workers_used == 3
         assert result.counters.wavefronts == plan.n_waves
