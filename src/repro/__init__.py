@@ -21,6 +21,7 @@ from repro.algorithms import (
     AlgorithmReport,
     solve_arbitrary_lines,
     solve_arbitrary_trees,
+    solve_auto,
     solve_narrow_lines,
     solve_narrow_trees,
     solve_sequential,
@@ -69,6 +70,7 @@ __all__ = [
     "make_line_network",
     "solve_arbitrary_lines",
     "solve_arbitrary_trees",
+    "solve_auto",
     "solve_exact",
     "solve_greedy",
     "solve_narrow_lines",

@@ -1,6 +1,7 @@
 """The paper's algorithms (Theorems 5.3, 6.3, 7.1, 7.2; Appendix A)."""
 from repro.algorithms.arbitrary_lines import solve_arbitrary_lines, solve_narrow_lines
 from repro.algorithms.arbitrary_trees import solve_arbitrary_trees
+from repro.algorithms.auto import problem_family, solve_auto
 from repro.algorithms.base import AlgorithmReport, line_layouts, tree_layouts
 from repro.algorithms.narrow_trees import solve_narrow_trees
 from repro.algorithms.sequential import solve_sequential
@@ -10,8 +11,10 @@ from repro.algorithms.unit_trees import solve_unit_trees
 __all__ = [
     "AlgorithmReport",
     "line_layouts",
+    "problem_family",
     "solve_arbitrary_lines",
     "solve_arbitrary_trees",
+    "solve_auto",
     "solve_narrow_lines",
     "solve_narrow_trees",
     "solve_sequential",

@@ -61,10 +61,11 @@ def solve_unit_trees(
         (default), ``'process'`` (real CPU parallelism via pickled epoch
         jobs) or ``'serial'`` (debugging).
     plan_granularity:
-        ``'epoch'`` (default, bit-identical to the serial engines) or
+        ``'epoch'`` (default, bit-identical to the serial engines),
         ``'component'`` (relaxed: splits an epoch's disconnected
         conflict components across workers; schedule counters may
-        differ).
+        differ) or ``'auto'`` (split only when the plan's component
+        structure predicts a win, strict otherwise).
     """
     validate_engine_knobs(engine, backend, plan_granularity)
     if not allow_heights and not problem.is_unit_height:

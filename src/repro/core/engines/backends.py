@@ -297,16 +297,44 @@ _THREAD_POOLS: Dict[int, ThreadPoolExecutor] = {}
 _PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
 
 
-def _shared_thread_pool(workers: int) -> ThreadPoolExecutor:
-    pool = _THREAD_POOLS.get(workers)
+def _warm_pool(
+    pools: Dict[int, ThreadPoolExecutor], workers: int, prefix: str
+) -> ThreadPoolExecutor:
+    """Fetch-or-create a keyed warm pool (shared get/setdefault dance)."""
+    pool = pools.get(workers)
     if pool is None:
-        pool = _THREAD_POOLS.setdefault(
+        pool = pools.setdefault(
             workers,
-            ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-epoch"
-            ),
+            ThreadPoolExecutor(max_workers=workers, thread_name_prefix=prefix),
         )
     return pool
+
+
+def _shared_thread_pool(workers: int) -> ThreadPoolExecutor:
+    return _warm_pool(_THREAD_POOLS, workers, "repro-epoch")
+
+
+#: Warm request-level pools for the scheduling service, kept separate
+#: from the epoch pools above.  Sharing one executor instance between
+#: the two layers would deadlock: a service thread running an
+#: ``engine="parallel"``/``backend="thread"`` solve submits epoch
+#: chunks and then *blocks* on their futures -- if those chunks queue
+#: behind other blocked service requests in the same executor, nothing
+#: ever runs them.  Distinct instances keep every wait on a pool that
+#: only executes the layer below it.
+_SERVICE_POOLS: Dict[int, ThreadPoolExecutor] = {}
+
+
+def shared_service_pool(workers: int) -> ThreadPoolExecutor:
+    """The warm request-dispatch pool of :mod:`repro.service.server`.
+
+    Same keyed-by-worker-count, warm-across-solves discipline as the
+    epoch pools (see :data:`_THREAD_POOLS`), but a separate executor
+    family so request-level waits can never starve epoch-level jobs.
+    """
+    if workers < 1:
+        raise ValueError(f"pool workers must be positive, got {workers}")
+    return _warm_pool(_SERVICE_POOLS, workers, "repro-service")
 
 
 def _mp_context():

@@ -41,7 +41,11 @@ Component granularity (relaxed)
 ``plan_granularity="component"`` (opt-in) splits each epoch's
 *disconnected conflict components* into separate jobs, exposing
 parallelism inside an epoch -- the regime strict epoch waves cannot
-touch.  Components share no demand and no path edge, so every job still
+touch.  ``plan_granularity="auto"`` makes that opt-in data-driven: the
+plan's :meth:`~repro.core.plan.EpochPlan.recommend_split` heuristic
+splits only when enough member mass lies outside the epochs' largest
+components to predict a win, and otherwise runs the strict epoch mode
+(bit-identical artifacts included).  Components share no demand and no path edge, so every job still
 raises over a sealed dual slice and the merged output remains a valid
 first phase: feasible second-phase input, tight raises, certified
 ``val/lambda >= p(Opt)``.  What changes is *accounting*: per-component
@@ -144,6 +148,22 @@ class ParallelEpochExecutor:
         """The resolved execution backend ('thread', 'process' or 'serial')."""
         return self.backend.name
 
+    def _resolve_split(self, plan: EpochPlan) -> bool:
+        """Whether this run splits epochs into component jobs.
+
+        ``"component"`` always splits, ``"epoch"`` never; ``"auto"``
+        asks the plan (:meth:`~repro.core.plan.EpochPlan.recommend_split`)
+        whether the component structure predicts a win -- splitting
+        only then, so an auto run on a split-hostile plan stays
+        bit-identical to the strict engines while a split-friendly one
+        opts into the component mode's relaxed counter contract.
+        """
+        if self.plan_granularity == "component":
+            return True
+        if self.plan_granularity == "auto":
+            return plan.recommend_split()
+        return False
+
     def run(
         self,
         instances: Sequence[DemandInstance],
@@ -160,7 +180,7 @@ class ParallelEpochExecutor:
             plan = EpochPlan.build(
                 instances, layout, conflict_adj, granularity=self.plan_granularity
             )
-        split = self.plan_granularity == "component"
+        split = self._resolve_split(plan)
         # Component jobs need sealed per-job oracles; the process backend
         # already clones every wire job's oracle in _prepare, so cloning
         # here too would just pickle each oracle twice.

@@ -56,6 +56,10 @@ behind the ``engine=`` switch of :func:`run_two_phase` /
   splits each epoch's disconnected conflict components into separate
   jobs; solutions stay feasible and certified but the schedule counters
   are no longer bit-identical to the serial engines.
+  ``plan_granularity="auto"`` applies that split only when the plan's
+  component structure predicts a win
+  (:meth:`repro.core.plan.EpochPlan.recommend_split`), staying strict
+  -- bit-identical included -- otherwise.
 
 All engines -- and all parallel backends -- produce bit-identical
 artifacts (solutions, raise events, stacks, schedule counters) for the
@@ -189,8 +193,8 @@ def run_first_phase(
     ``workers`` sizes the parallel engine's pool (default: the usable
     CPUs, capped), ``backend`` its execution substrate ('thread',
     'process' or 'serial'), and ``plan_granularity`` the planner mode
-    ('epoch' strict, 'component' relaxed); all three are rejected for
-    the serial engines.
+    ('epoch' strict, 'component' relaxed, 'auto' heuristic); all three
+    are rejected for the serial engines.
     """
     if not thresholds:
         raise ValueError("at least one stage threshold is required")

@@ -42,9 +42,27 @@ from repro.distributed.conflict import (
 )
 
 #: Planner granularities: ``"epoch"`` (strict, bit-identical to the
-#: serial engines) and ``"component"`` (split one epoch's disconnected
-#: conflict components into separate jobs; relaxed counter contract).
-GRANULARITIES = ("epoch", "component")
+#: serial engines), ``"component"`` (split one epoch's disconnected
+#: conflict components into separate jobs; relaxed counter contract)
+#: and ``"auto"`` (split only when the plan's component structure
+#: predicts a win -- see :meth:`EpochPlan.recommend_split`; inherits
+#: the relaxed contract only when it actually splits).
+GRANULARITIES = ("epoch", "component", "auto")
+
+#: The auto heuristic's decision threshold: split when at least this
+#: fraction of the member mass lies outside the epochs' largest
+#: conflict components (the mass that splitting actually peels off the
+#: per-epoch critical path).  Below it, the extra jobs, oracle clones
+#: and merges cannot pay for themselves.
+AUTO_SPLIT_RATIO = 0.25
+
+#: The auto heuristic's overhead guard: mean members per component must
+#: reach this before splitting.  Every component job pays a fixed toll
+#: (oracle clone, dual priming, merge bookkeeping); a plan shattered
+#: into near-singleton components -- high gain, no per-job work to
+#: amortize the toll -- is the regime where component mode measurably
+#: *loses* to strict epochs, so auto keeps it strict.
+AUTO_MIN_COMPONENT_SIZE = 4
 
 
 def validate_granularity(granularity: str) -> str:
@@ -136,6 +154,65 @@ class EpochPlan:
             cached = self.components.setdefault(epoch, comps)
         return cached
 
+    def component_split_gain(self) -> float:
+        """Fraction of member mass that component-splitting parallelizes.
+
+        For each non-empty epoch, the largest conflict component is the
+        split schedule's critical path -- everything *outside* it is
+        work that ``plan_granularity="component"`` can run concurrently
+        with that path.  The gain is that outside mass over the total
+        member count: 0.0 when every epoch is one connected component
+        (splitting is pure overhead), approaching 1.0 for many small
+        equal components (the component-count / member-size regime
+        where splitting shines, e.g. merged multi-tenant epochs).
+        """
+        total = 0
+        largest = 0
+        for epoch, mine in self.members.items():
+            if not mine:
+                continue
+            total += len(mine)
+            largest += max(
+                (len(c) for c in self.epoch_components(epoch)), default=0
+            )
+        if total == 0:
+            return 0.0
+        return 1.0 - largest / total
+
+    def mean_component_size(self) -> float:
+        """Mean members per conflict component over non-empty epochs."""
+        total = 0
+        n_components = 0
+        for epoch, mine in self.members.items():
+            if not mine:
+                continue
+            total += len(mine)
+            n_components += len(self.epoch_components(epoch))
+        if n_components == 0:
+            return 0.0
+        return total / n_components
+
+    def recommend_split(
+        self,
+        threshold: float = AUTO_SPLIT_RATIO,
+        min_component_size: float = AUTO_MIN_COMPONENT_SIZE,
+    ) -> bool:
+        """The ``"auto"`` granularity decision: split iff the gain pays.
+
+        Two conditions, both from the component-count / member-size
+        structure of the plan: :meth:`component_split_gain` must reach
+        *threshold* (enough mass moves off the per-epoch critical
+        components to matter) and :meth:`mean_component_size` must
+        reach *min_component_size* (enough work per job to amortize
+        its fixed toll -- near-singleton shatter is where splitting
+        loses).  Deterministic per plan, so ``"auto"`` keys caches and
+        reproduces runs stably.
+        """
+        return (
+            self.component_split_gain() >= threshold
+            and self.mean_component_size() >= min_component_size
+        )
+
     def component_slices(
         self, epoch: int
     ) -> List[Tuple[List[DemandInstance], ConflictAdjacency, InstanceIndex]]:
@@ -197,9 +274,10 @@ class EpochPlan:
         per-epoch adjacency is sliced from it; otherwise each group's
         conflict graph is built directly -- cheaper, since cross-epoch
         conflict pairs are never materialized.  ``granularity="component"``
-        additionally precomputes each epoch's conflict components (the
-        lazily-cached :meth:`epoch_components`) for the relaxed
-        component-split execution mode.
+        and ``granularity="auto"`` additionally precompute each epoch's
+        conflict components (the lazily-cached :meth:`epoch_components`)
+        -- the component mode needs them to slice jobs, the auto mode to
+        take its :meth:`recommend_split` decision.
         """
         validate_granularity(granularity)
         groups = group_members(instances, layout)
@@ -282,7 +360,7 @@ class EpochPlan:
             waves=waves,
             granularity=granularity,
         )
-        if granularity == "component":
+        if granularity in ("component", "auto"):
             for epoch in groups:
                 plan.epoch_components(epoch)
         return plan

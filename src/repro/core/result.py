@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.core.canonical import stable_digest
 from repro.core.demand import DemandInstance
 from repro.core.dual import DualState, RaiseEvent
 from repro.core.engines.artifacts import InstanceLayout, PhaseCounters
@@ -82,3 +83,17 @@ class TwoPhaseResult:
             tuple(self.dual.alpha.items()),
             tuple(self.dual.beta.items()),
         )
+
+    def semantic_digest(self) -> str:
+        """Stable hex digest of :meth:`semantic_tuple`.
+
+        The cache-safety form of the bit-identity contract: the tuple
+        itself holds ids, exact floats, edge keys and *ordered* dual
+        items, and :func:`repro.core.canonical.stable_digest` encodes
+        all of those deterministically (floats via ``float.hex``, no
+        dependence on per-process hash randomization).  The service
+        layer's disk tier records this digest when a result is admitted
+        and re-verifies it after unpickling, so a corrupted or stale
+        cache file can never impersonate a live solve.
+        """
+        return stable_digest(self.semantic_tuple())

@@ -1,0 +1,45 @@
+"""The scheduling service layer: fingerprints, result cache, server.
+
+A long-lived serving loop in front of the two-phase framework --
+canonical request fingerprinting (:mod:`repro.service.fingerprint`), a
+two-tier verified result cache (:mod:`repro.service.cache`), and a
+coalescing, batching :class:`SchedulingService`
+(:mod:`repro.service.server`).  See the "Serving" section of README.md.
+"""
+from repro.service.cache import (
+    CacheEntry,
+    CacheIntegrityError,
+    CacheStats,
+    ResultCache,
+    report_semantic_digest,
+)
+from repro.service.fingerprint import (
+    Fingerprint,
+    SolveKnobs,
+    problem_canonical_form,
+    problem_fingerprint,
+    solve_fingerprint,
+)
+from repro.service.server import (
+    SchedulingService,
+    ServiceError,
+    ServiceResult,
+    SolveRequest,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CacheIntegrityError",
+    "CacheStats",
+    "Fingerprint",
+    "ResultCache",
+    "SchedulingService",
+    "ServiceError",
+    "ServiceResult",
+    "SolveKnobs",
+    "SolveRequest",
+    "problem_canonical_form",
+    "problem_fingerprint",
+    "report_semantic_digest",
+    "solve_fingerprint",
+]

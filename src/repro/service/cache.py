@@ -1,0 +1,315 @@
+"""Two-tier, fingerprint-keyed result cache for the scheduling service.
+
+Tier 1 is a bounded in-memory LRU (an ``OrderedDict`` in recency
+order); tier 2 is an optional on-disk pickle directory that survives
+process restarts and also acts as the overflow space for in-memory
+evictions.  Both tiers are keyed by the full hex digest of a
+:class:`~repro.service.fingerprint.Fingerprint`.
+
+Entries are *verified*: when a value is admitted, its semantic digest
+(:meth:`TwoPhaseResult.semantic_digest`, folded over the wide/narrow
+parts of composite reports) is recorded next to it, and a disk entry
+is re-checked against that digest after unpickling.  A mismatch --
+bit rot, a partial write, a stale file from an incompatible version --
+counts as a ``verify_failure``: the file is deleted and the lookup
+degrades to a miss (or raises :class:`CacheIntegrityError`, naming the
+offending fingerprint, under ``strict=True``).  A wrong cached answer
+is the one failure mode a result cache must never have.
+
+Statistics (:class:`CacheStats`) count hits per tier, misses, stores,
+evictions and verification failures; the service and bench E18 report
+them directly.
+"""
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.algorithms.base import AlgorithmReport
+from repro.core.canonical import stable_digest
+from repro.service.fingerprint import Fingerprint
+
+__all__ = [
+    "CacheEntry",
+    "CacheIntegrityError",
+    "CacheStats",
+    "ResultCache",
+    "report_semantic_digest",
+]
+
+
+class CacheIntegrityError(RuntimeError):
+    """A cached entry failed its semantic-digest verification.
+
+    The message always names the offending fingerprint, so a failed
+    entry is attributable even when the lookup happened deep inside a
+    coalesced batch.
+    """
+
+
+def report_semantic_form(report: AlgorithmReport):
+    """An :class:`AlgorithmReport` as a digestible nested tuple.
+
+    Folds the guarantee, the certified bound, the *served solution*
+    (selected instance ids and their profits -- composite reports
+    carry a merged solution with ``result=None`` on top, so the
+    underlying semantic tuples alone would not cover it), the
+    underlying :meth:`~repro.core.result.TwoPhaseResult.semantic_tuple`
+    and -- recursively -- the wide/narrow parts of composite
+    algorithms, so one digest covers everything the service hands out.
+    """
+    return (
+        report.name,
+        float(report.guarantee),
+        float(report.certified_upper_bound),
+        tuple(
+            (d.instance_id, float(d.profit))
+            for d in report.solution.selected
+        ),
+        None if report.result is None else report.result.semantic_tuple(),
+        tuple(
+            sorted(
+                (name, report_semantic_form(part))
+                for name, part in report.parts.items()
+            )
+        ),
+    )
+
+
+def report_semantic_digest(report: AlgorithmReport) -> str:
+    """Stable hex digest of :func:`report_semantic_form`."""
+    return stable_digest(report_semantic_form(report))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting across both tiers."""
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    verify_failures: int = 0
+    #: Persist attempts that errored (disk full, permissions); the
+    #: entry stays served from memory, so this is degradation, not
+    #: failure.
+    disk_write_failures: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls observed."""
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from either tier (0 when idle)."""
+        if not self.lookups:
+            return 0.0
+        return (self.hits + self.disk_hits) / self.lookups
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy (for findings JSON and service stats)."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "verify_failures": self.verify_failures,
+            "disk_write_failures": self.disk_write_failures,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+@dataclass
+class CacheEntry:
+    """One admitted value plus its verification digest."""
+
+    fingerprint: str
+    digest: str
+    value: object = field(repr=False)
+
+
+class ResultCache:
+    """Bounded LRU over verified entries, with an optional disk tier.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum in-memory entries; the least recently used entry is
+        evicted first.  Evicted entries survive on disk when a disk
+        tier is configured (a later ``get`` re-admits them).
+    disk_dir:
+        Directory for the pickle tier; created on demand.  ``None``
+        disables tier 2.
+    digest_fn:
+        Maps a value to its verification digest.  The default digests
+        :class:`AlgorithmReport` semantic forms; pass a custom callable
+        to cache other payloads.
+    strict:
+        When true, a disk entry failing verification raises
+        :class:`CacheIntegrityError` instead of degrading to a miss.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        disk_dir: Optional[str] = None,
+        digest_fn: Callable[[object], str] = report_semantic_digest,
+        strict: bool = False,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.digest_fn = digest_fn
+        self.strict = strict
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        return fingerprint.digest in self._entries
+
+    # ------------------------------------------------------------------
+    # Lookup / admission
+    # ------------------------------------------------------------------
+    # ``get``/``put`` are the plain single-threaded API.  The granular
+    # methods below them exist for the service, which digests values
+    # and touches the disk *outside* its lock (both are the expensive
+    # steps) and takes the lock only around the memory-tier mutations
+    # (``get_memory``/``admit``) and stats.
+
+    def get(self, fingerprint: Fingerprint):
+        """The cached value for *fingerprint*, or ``None`` on a miss.
+
+        A memory hit refreshes recency; a disk hit re-admits the entry
+        into memory (evicting as needed) after verifying its digest.
+        """
+        value = self.get_memory(fingerprint)
+        if value is not None:
+            return value
+        entry = self.load_disk(fingerprint)
+        if entry is not None:
+            self.stats.disk_hits += 1
+            self.admit(entry)
+            return entry.value
+        self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: Fingerprint, value) -> None:
+        """Admit *value* under *fingerprint* into both tiers."""
+        entry = self.make_entry(fingerprint, value)
+        self.stats.stores += 1
+        self.admit(entry)
+        if self.disk_dir is not None:
+            self.write_disk(entry)
+
+    def get_memory(self, fingerprint: Fingerprint):
+        """Tier-1 probe only: value or ``None``, refreshing recency."""
+        entry = self._entries.get(fingerprint.digest)
+        if entry is None:
+            return None
+        self._entries.move_to_end(fingerprint.digest)
+        self.stats.hits += 1
+        return entry.value
+
+    def make_entry(self, fingerprint: Fingerprint, value) -> CacheEntry:
+        """Build a verified entry (runs the digest; no cache mutation)."""
+        return CacheEntry(
+            fingerprint=fingerprint.digest,
+            digest=self.digest_fn(value),
+            value=value,
+        )
+
+    def admit(self, entry: CacheEntry) -> None:
+        """Insert *entry* into the memory tier, evicting LRU overflow."""
+        self._entries[entry.fingerprint] = entry
+        self._entries.move_to_end(entry.fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _path(self, digest: str) -> Path:
+        return self.disk_dir / f"{digest}.pkl"
+
+    def write_disk(self, entry: CacheEntry) -> bool:
+        """Persist *entry* to the disk tier; True iff it was written.
+
+        Best-effort by design: persistence failing (disk full,
+        permissions, unpicklable payload) must never fail the request
+        whose solve already succeeded, so errors are swallowed into
+        ``stats.disk_write_failures`` -- the entry stays served from
+        memory -- mirroring how a corrupt *read* degrades to a miss.
+        No-op (False) without a disk tier.
+        """
+        if self.disk_dir is None:
+            return False
+        try:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            path = self._path(entry.fingerprint)
+            # Write-then-rename so a crashed writer leaves no half-file
+            # that a later lookup could mistake for an entry.
+            tmp = path.with_suffix(".tmp")
+            with tmp.open("wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        except Exception:
+            self.stats.disk_write_failures += 1
+            return False
+        return True
+
+    def load_disk(self, fingerprint: Fingerprint) -> Optional[CacheEntry]:
+        """Tier-2 probe: the verified entry, or ``None``.
+
+        Reads, unpickles and digest-verifies without touching the
+        memory tier, so callers may run it outside their locks; a
+        failed verification deletes the file and counts a
+        ``verify_failure`` (raising under ``strict=True``).
+        """
+        if self.disk_dir is None:
+            return None
+        path = self._path(fingerprint.digest)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            if not isinstance(entry, CacheEntry):
+                raise TypeError(f"expected CacheEntry, got {type(entry).__name__}")
+            recomputed = self.digest_fn(entry.value)
+        except Exception as exc:
+            return self._reject_disk(
+                path, fingerprint,
+                f"unreadable cache entry ({type(exc).__name__}: {exc})", exc,
+            )
+        if entry.fingerprint != fingerprint.digest or entry.digest != recomputed:
+            return self._reject_disk(
+                path, fingerprint,
+                "semantic digest mismatch (stale or corrupted entry)", None,
+            )
+        return entry
+
+    def _reject_disk(
+        self, path: Path, fingerprint: Fingerprint, why: str, cause
+    ) -> None:
+        self.stats.verify_failures += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        if self.strict:
+            raise CacheIntegrityError(
+                f"disk cache entry for fingerprint {fingerprint.short} "
+                f"failed verification: {why}"
+            ) from cause
+        return None

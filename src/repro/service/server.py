@@ -1,0 +1,413 @@
+"""The long-lived scheduling service: coalescing, caching, dispatch.
+
+:class:`SchedulingService` is the serving loop in front of the
+two-phase framework -- the control-plane piece the paper's motivating
+VoD/bandwidth-allocation setting assumes but a one-shot library call
+does not provide.  A request travels three short stages:
+
+1. **Fingerprint** -- the problem and its solve knobs are canonically
+   hashed (:mod:`repro.service.fingerprint`), so a re-submitted or
+   relabeled-but-identical request keys the same.
+2. **Cache / coalesce** -- a fingerprint already answered is served
+   from the two-tier :class:`~repro.service.cache.ResultCache` without
+   touching a solver; a fingerprint currently *being* solved joins the
+   in-flight future instead of starting a duplicate solve (request
+   coalescing -- under hot-key traffic the thundering herd collapses
+   onto one solve).
+3. **Dispatch** -- genuinely new requests run
+   :func:`~repro.algorithms.auto.solve_auto` with their per-request
+   engine/backend knobs on the warm service pool
+   (:func:`~repro.core.engines.backends.shared_service_pool`), so a
+   batch of distinct requests executes concurrently while each solve
+   may itself fan epoch waves out over the thread or process epoch
+   pools.
+
+Failures stay attributable: any exception raised by a solve -- a
+:class:`~repro.core.problem.ProblemError` from instance expansion
+included -- is re-raised as :class:`ServiceError` naming the request's
+label and fingerprint, so one bad entry in a coalesced batch is
+distinguishable from its neighbors.
+
+The service itself is thread-safe; results handed out are shared
+objects and must be treated as immutable by callers.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.auto import solve_auto
+from repro.algorithms.base import AlgorithmReport
+from repro.core.engines.backends import default_workers, shared_service_pool
+from repro.core.problem import Problem
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import Fingerprint, SolveKnobs, solve_fingerprint
+from repro.workloads import build_workload
+
+__all__ = [
+    "SchedulingService",
+    "ServiceError",
+    "ServiceResult",
+    "SolveRequest",
+]
+
+
+class ServiceError(RuntimeError):
+    """A request failed; the message names its label and fingerprint."""
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One unit of service traffic: a problem plus its solve knobs.
+
+    ``label`` is a human-readable handle carried into results and error
+    messages (:meth:`from_workload` fills in ``name@size#seed``); it
+    never participates in the cache key.
+    """
+
+    problem: Problem
+    knobs: SolveKnobs = SolveKnobs()
+    label: str = ""
+    #: Memoized cache key (fingerprinting scans the whole problem; a
+    #: client replaying a prepared request handle pays it once).
+    _fp: Optional[Fingerprint] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_workload(
+        cls,
+        name: str,
+        size: int,
+        seed: int = 0,
+        knobs: Optional[SolveKnobs] = None,
+        **knob_kwargs,
+    ) -> "SolveRequest":
+        """Build a request for a registry workload (label = name@size#seed).
+
+        Pass *knobs* whole, or individual :class:`SolveKnobs` fields as
+        keyword arguments (mutually exclusive).  The solve seed
+        defaults to the workload seed, so one number determines the
+        whole request.
+        """
+        if knobs is not None and knob_kwargs:
+            raise ValueError("pass knobs= or individual knob fields, not both")
+        if knobs is None:
+            knob_kwargs.setdefault("seed", seed)
+            knobs = SolveKnobs(**knob_kwargs)
+        return cls(
+            problem=build_workload(name, size, seed=seed),
+            knobs=knobs,
+            label=f"{name}@{size}#{seed}",
+        )
+
+    def fingerprint(self) -> Fingerprint:
+        """The request's cache key (computed once per request object)."""
+        if self._fp is None:
+            object.__setattr__(
+                self, "_fp", solve_fingerprint(self.problem, self.knobs)
+            )
+        return self._fp
+
+
+@dataclass
+class ServiceResult:
+    """What the service hands back for one request.
+
+    ``status`` is ``"hit"`` (served from cache, either tier) or
+    ``"miss"`` (a fresh solve ran; coalesced callers share the miss
+    result of the one solve that served them).  ``latency_s`` measures
+    this request's submit-to-resolution wall-clock.
+    """
+
+    report: AlgorithmReport = field(repr=False)
+    fingerprint: Fingerprint
+    status: str
+    latency_s: float
+    label: str = ""
+
+    @property
+    def profit(self) -> float:
+        """``p(S)`` of the served solution."""
+        return self.report.profit
+
+
+class SchedulingService:
+    """A warm, caching, coalescing front-end over the solve framework.
+
+    Parameters
+    ----------
+    capacity:
+        In-memory LRU capacity of the result cache.
+    disk_dir:
+        Optional directory for the cache's pickle tier (survives
+        restarts; ``None`` disables it).
+    workers:
+        Size of the request-dispatch pool (default: usable CPUs,
+        capped) -- how many *distinct* requests solve concurrently.
+        Independent of each request's own ``workers`` engine knob.
+    default_knobs:
+        Knobs applied by :meth:`submit_problem` when the caller gives
+        none.  Defaults to the incremental engine -- the serial
+        production engine -- with Luby's oracle.
+    strict_cache:
+        Propagate disk-tier verification failures as errors instead of
+        degrading them to misses.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        disk_dir: Optional[str] = None,
+        workers: Optional[int] = None,
+        default_knobs: SolveKnobs = SolveKnobs(),
+        strict_cache: bool = False,
+    ) -> None:
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"service workers must be positive, got {self.workers}")
+        self.default_knobs = default_knobs
+        self.cache = ResultCache(
+            capacity=capacity, disk_dir=disk_dir, strict=strict_cache
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        self._requests = 0
+        self._coalesced = 0
+        self._solves = 0
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def submit(self, request: SolveRequest) -> "Future[ServiceResult]":
+        """Enqueue one request; returns a future of its result.
+
+        Cache hits resolve immediately; a duplicate of an in-flight
+        fingerprint joins the solve already running (coalescing) but
+        still gets its own future, so its result carries *its* label
+        and submit-to-resolution latency; everything else dispatches
+        onto the warm service pool.  Invalid knobs are rejected here,
+        before any cache interaction -- an invalid request must error
+        deterministically, not succeed whenever a valid normalization
+        of it happens to be cached.
+
+        The lock guards only the memory tier and the in-flight
+        registry; fingerprinting, disk reads and solves all run outside
+        it, so concurrent memory hits never queue behind another
+        request's disk verify.
+        """
+        t0 = time.perf_counter()  # latency includes fingerprinting
+        try:
+            request.knobs.validate()
+        except ValueError as exc:
+            raise ServiceError(
+                f"request {request.label or '<unlabeled>'} rejected: {exc}"
+            ) from exc
+        fp = request.fingerprint()
+        with self._lock:
+            self._requests += 1
+            cached = self.cache.get_memory(fp)
+            if cached is not None:
+                return self._resolved(cached, fp, request.label, t0)
+            existing = self._inflight.get(fp.digest)
+            if existing is not None:
+                self._coalesced += 1
+                return self._joined(existing, request.label, t0)
+            fut: "Future[ServiceResult]" = Future()
+            self._inflight[fp.digest] = fut
+        # Tier-2 probe outside the lock (pickle load + digest verify).
+        # Duplicates arriving meanwhile coalesce onto `fut`, which the
+        # disk hit resolves just like a finished solve would.
+        try:
+            entry = self.cache.load_disk(fp)
+        except Exception as exc:  # strict-mode integrity failures
+            # The failure must flow through the future: coalesced
+            # duplicates already joined `fut`, and leaving it pending
+            # would hang them forever.
+            with self._lock:
+                self._inflight.pop(fp.digest, None)
+            fut.set_exception(self._wrap_failure(request, fp, exc))
+            return fut
+        if entry is not None:
+            with self._lock:
+                self.cache.stats.disk_hits += 1
+                self.cache.admit(entry)
+                self._inflight.pop(fp.digest, None)
+            fut.set_result(
+                ServiceResult(
+                    report=entry.value,
+                    fingerprint=fp,
+                    status="hit",
+                    latency_s=time.perf_counter() - t0,
+                    label=request.label,
+                )
+            )
+            return fut
+        with self._lock:
+            self.cache.stats.misses += 1
+        shared_service_pool(self.workers).submit(
+            self._solve_into, request, fp, fut, t0
+        )
+        return fut
+
+    @staticmethod
+    def _resolved(
+        report: AlgorithmReport, fp: Fingerprint, label: str, t0: float
+    ) -> "Future[ServiceResult]":
+        """An already-done future for a memory-tier hit."""
+        done: "Future[ServiceResult]" = Future()
+        done.set_result(
+            ServiceResult(
+                report=report,
+                fingerprint=fp,
+                status="hit",
+                latency_s=time.perf_counter() - t0,
+                label=label,
+            )
+        )
+        return done
+
+    @staticmethod
+    def _joined(
+        primary: "Future[ServiceResult]", label: str, t0: float
+    ) -> "Future[ServiceResult]":
+        """A coalesced caller's view of the in-flight solve.
+
+        Shares the primary's outcome but re-wraps it with this caller's
+        label and latency; a failure propagates the primary's
+        :class:`ServiceError` unchanged (it names the request whose
+        solve actually ran -- the shared fingerprint in its message is
+        what ties it to this caller).
+        """
+        joined: "Future[ServiceResult]" = Future()
+
+        def relay(done: "Future[ServiceResult]") -> None:
+            exc = done.exception()
+            if exc is not None:
+                joined.set_exception(exc)
+                return
+            first = done.result()
+            joined.set_result(
+                ServiceResult(
+                    report=first.report,
+                    fingerprint=first.fingerprint,
+                    status=first.status,
+                    latency_s=time.perf_counter() - t0,
+                    label=label,
+                )
+            )
+
+        primary.add_done_callback(relay)
+        return joined
+
+    def submit_problem(
+        self,
+        problem: Problem,
+        knobs: Optional[SolveKnobs] = None,
+        label: str = "",
+    ) -> "Future[ServiceResult]":
+        """Convenience: wrap *problem* with the service's default knobs."""
+        return self.submit(
+            SolveRequest(
+                problem=problem,
+                knobs=knobs if knobs is not None else self.default_knobs,
+                label=label,
+            )
+        )
+
+    def solve(self, request: SolveRequest) -> ServiceResult:
+        """Submit and wait; re-raises solve failures as :class:`ServiceError`."""
+        return self.submit(request).result()
+
+    def solve_batch(self, requests: Sequence[SolveRequest]) -> List[ServiceResult]:
+        """Serve a batch: coalesce duplicates, solve distinct requests
+        concurrently on the service pool, return results in input order.
+
+        The first failing entry raises its :class:`ServiceError` --
+        which names the label and fingerprint of exactly the offending
+        request, not just "the batch".
+        """
+        futures = [self.submit(r) for r in requests]
+        return [f.result() for f in futures]
+
+    @staticmethod
+    def _wrap_failure(
+        request: SolveRequest, fp: Fingerprint, exc: BaseException
+    ) -> ServiceError:
+        """The attributable form of any per-request failure."""
+        err = ServiceError(
+            f"request {request.label or '<unlabeled>'} "
+            f"(fingerprint {fp.short}) failed: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        err.__cause__ = exc
+        return err
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _solve_into(
+        self,
+        request: SolveRequest,
+        fp: Fingerprint,
+        fut: "Future[ServiceResult]",
+        t0: float,
+    ) -> None:
+        try:
+            k = request.knobs
+            report = solve_auto(
+                request.problem,
+                epsilon=k.epsilon,
+                mis=k.mis,
+                seed=k.seed,
+                decomposition=k.decomposition,
+                engine=k.engine,
+                workers=k.workers,
+                backend=k.backend,
+                plan_granularity=k.plan_granularity,
+            )
+            # Digest and disk write are the expensive admission steps;
+            # run them on this worker thread, outside the lock.  The
+            # write is best-effort inside the cache -- a failed persist
+            # degrades to memory-only, it never fails the request.
+            entry = self.cache.make_entry(fp, report)
+            self.cache.write_disk(entry)
+            with self._lock:
+                self._solves += 1
+                self.cache.stats.stores += 1
+                self.cache.admit(entry)
+            fut.set_result(
+                ServiceResult(
+                    report=report,
+                    fingerprint=fp,
+                    status="miss",
+                    latency_s=time.perf_counter() - t0,
+                    label=request.label,
+                )
+            )
+        except BaseException as exc:
+            fut.set_exception(self._wrap_failure(request, fp, exc))
+        finally:
+            # Deregister only after the cache holds the result (or the
+            # failure is published): a submit racing this window either
+            # joins the still-registered future or hits the cache.
+            with self._lock:
+                self._inflight.pop(fp.digest, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Requests seen, coalesced joins, solves run, cache counters."""
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "coalesced": self._coalesced,
+                "solves": self._solves,
+                "inflight": len(self._inflight),
+                "cache": self.cache.stats.snapshot(),
+            }

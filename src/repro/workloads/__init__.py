@@ -6,6 +6,7 @@ from repro.workloads.random_suite import (
     WorkloadSpec,
     build_workload,
     bursty_line_problem,
+    diurnal_line_problem,
     get_workload,
     multi_tenant_forest_problem,
     register_workload,
@@ -30,6 +31,7 @@ __all__ = [
     "WorkloadSpec",
     "build_workload",
     "bursty_line_problem",
+    "diurnal_line_problem",
     "figure1_problem",
     "figure2_network",
     "figure2_problem",

@@ -32,12 +32,18 @@ differently:
   shared edges/demands across groups), i.e. where the epoch-graph
   planner (:mod:`repro.core.plan`) finds the widest waves for
   ``engine="parallel"``.
+* ``diurnal-cycle`` -- window demands whose arrival intensity follows a
+  sinusoidal day/night cycle over the timeline: load swells and ebbs in
+  smooth waves rather than bursts, the classic VoD traffic shape.  One
+  of the service-traffic sources of bench E18, where re-submitted peak
+  windows are exactly what a result cache amortizes.
 
 The paper's fixed worked examples (Figures 1, 2, 6) are registered too,
 with ``scale=False``; their builders ignore ``(size, seed)``.
 """
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -193,6 +199,49 @@ def multi_tenant_forest_problem(
     return Problem(networks=networks, demands=demands, access=access)
 
 
+def _windowed_line_problem(
+    rng: random.Random,
+    n_slots: int,
+    m: int,
+    r: int,
+    draw_release: Callable[[random.Random], int],
+    window_slack: int,
+    height_profile: str,
+    hmin: float,
+    profit_profile: str,
+    pmax_over_pmin: float,
+) -> Problem:
+    """Shared scaffolding of the arrival-pattern line generators.
+
+    Builds ``r`` line resources and ``m`` window demands whose release
+    slots come from *draw_release* (the only thing the bursty and
+    diurnal generators differ in); processing times, window slack,
+    profits and heights are drawn here so the feasibility clamps --
+    ``rho`` fits the remaining timeline, deadlines stay on it -- live
+    in exactly one place.
+    """
+    networks: Dict[int, TreeNetwork] = {
+        q: make_line_network(q, n_slots) for q in range(r)
+    }
+    demands: List[WindowDemand] = []
+    for demand_id in range(m):
+        release = draw_release(rng)
+        rho = rng.randint(1, max(1, n_slots // 6))
+        rho = min(rho, n_slots - release)
+        deadline = min(n_slots - 1, release + rho + rng.randint(0, window_slack) - 1)
+        demands.append(
+            WindowDemand(
+                demand_id=demand_id,
+                release=release,
+                deadline=deadline,
+                processing=rho,
+                profit=_random_profit(rng, profit_profile, pmax_over_pmin),
+                height=_random_height(rng, height_profile, hmin),
+            )
+        )
+    return Problem(networks=networks, demands=demands)
+
+
 def bursty_line_problem(
     n_slots: int,
     m: int,
@@ -216,30 +265,66 @@ def bursty_line_problem(
     if n_slots < 4:
         raise ValueError("a bursty timeline needs at least 4 slots")
     rng = random.Random(seed)
-    networks: Dict[int, TreeNetwork] = {
-        q: make_line_network(q, n_slots) for q in range(r)
-    }
     centers = [rng.randint(0, max(0, n_slots - 2)) for _ in range(max(1, n_bursts))]
-    demands: List[WindowDemand] = []
-    for demand_id in range(m):
+
+    def draw_release(rng: random.Random) -> int:
         center = rng.choice(centers)
-        release = min(
+        return min(
             max(0, center + rng.randint(-burst_spread, burst_spread)), n_slots - 2
         )
-        rho = rng.randint(1, max(1, n_slots // 6))
-        rho = min(rho, n_slots - release)
-        deadline = min(n_slots - 1, release + rho + rng.randint(0, burst_spread) - 1)
-        demands.append(
-            WindowDemand(
-                demand_id=demand_id,
-                release=release,
-                deadline=deadline,
-                processing=rho,
-                profit=_random_profit(rng, profit_profile, pmax_over_pmin),
-                height=_random_height(rng, height_profile, hmin),
-            )
-        )
-    return Problem(networks=networks, demands=demands)
+
+    return _windowed_line_problem(
+        rng, n_slots, m, r, draw_release, window_slack=burst_spread,
+        height_profile=height_profile, hmin=hmin,
+        profit_profile=profit_profile, pmax_over_pmin=pmax_over_pmin,
+    )
+
+
+def diurnal_line_problem(
+    n_slots: int,
+    m: int,
+    r: int = 1,
+    seed: int = 0,
+    n_cycles: int = 2,
+    amplitude: float = 0.9,
+    window_slack: int = 3,
+    height_profile: str = "narrow",
+    hmin: float = 0.2,
+    profit_profile: str = "uniform",
+    pmax_over_pmin: float = 10.0,
+) -> Problem:
+    """Window demands under a sinusoidal (diurnal) arrival intensity.
+
+    Release slots are drawn with probability proportional to
+    ``1 + amplitude * sin(2 pi * n_cycles * t / n_slots)``: ``n_cycles``
+    day/night waves over the timeline, with ``amplitude`` controlling
+    how empty the troughs get (``0`` degenerates to a uniform draw,
+    ``1`` leaves the troughs almost silent).  Unlike ``bursty-lines``
+    (point masses plus noise), load here varies *smoothly*, so conflict
+    density tracks the wave -- and repeated peak-hour submissions make
+    it a natural traffic source for the service-layer benchmarks.
+    """
+    if n_slots < 8:
+        raise ValueError("a diurnal timeline needs at least 8 slots")
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError(f"amplitude must lie in [0, 1], got {amplitude}")
+    if n_cycles < 1:
+        raise ValueError(f"at least one cycle is required, got {n_cycles}")
+    rng = random.Random(seed)
+    slots = range(n_slots - 1)
+    intensity = [
+        1.0 + amplitude * math.sin(2.0 * math.pi * n_cycles * t / n_slots)
+        for t in slots
+    ]
+
+    def draw_release(rng: random.Random) -> int:
+        return rng.choices(slots, weights=intensity)[0]
+
+    return _windowed_line_problem(
+        rng, n_slots, m, r, draw_release, window_slack=window_slack,
+        height_profile=height_profile, hmin=hmin,
+        profit_profile=profit_profile, pmax_over_pmin=pmax_over_pmin,
+    )
 
 
 def _powerlaw_trees(size: int, seed: int) -> Problem:
@@ -298,6 +383,16 @@ def _multi_tenant_forest(size: int, seed: int) -> Problem:
     )
 
 
+def _diurnal_cycle(size: int, seed: int) -> Problem:
+    return diurnal_line_problem(
+        n_slots=max(16, size // 2),
+        m=size,
+        r=2,
+        seed=seed,
+        n_cycles=max(2, size // 50),
+    )
+
+
 def _sparse_access_forest(size: int, seed: int) -> Problem:
     return random_tree_problem(
         random_forest(max(12, size // 3), 3, seed=seed),
@@ -345,6 +440,15 @@ register_workload(
         heights="wide",
         description="video-on-demand style wide requests, generous windows",
         build=_wide_vod_lines,
+    )
+)
+register_workload(
+    WorkloadSpec(
+        name="diurnal-cycle",
+        kind="line",
+        heights="narrow",
+        description="sinusoidal arrival intensity (day/night waves), 2 resources",
+        build=_diurnal_cycle,
     )
 )
 register_workload(

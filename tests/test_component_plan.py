@@ -172,3 +172,87 @@ class TestComponentPlanner:
         assert max_components >= 2, (
             "expected at least one epoch to split into multiple components"
         )
+
+
+class TestAutoGranularity:
+    """The ``"auto"`` heuristic: split only when the plan predicts a win."""
+
+    def build_plan(self, name, size, seed=5):
+        problem = build_workload(name, size, seed=seed)
+        layout, _ = tree_layouts(problem, "ideal")
+        return problem, layout, EpochPlan.build(
+            problem.instances, layout, granularity="auto"
+        )
+
+    def test_auto_is_a_valid_granularity(self):
+        assert validate_granularity("auto") == "auto"
+
+    def test_gain_and_mean_size_bounds(self):
+        for name in ("multi-tenant-forest", "powerlaw-trees"):
+            _, _, plan = self.build_plan(name, 60)
+            assert 0.0 <= plan.component_split_gain() < 1.0
+            assert plan.mean_component_size() >= 1.0
+
+    def test_singleton_shatter_stays_strict(self):
+        # multi-tenant epochs shatter into near-singleton components:
+        # huge gain, nothing per job to amortize the toll -> no split.
+        _, _, plan = self.build_plan("multi-tenant-forest", 120)
+        assert plan.component_split_gain() >= 0.5
+        assert plan.mean_component_size() < 4
+        assert not plan.recommend_split()
+
+    def test_dominant_component_stays_strict(self):
+        # powerlaw-trees epochs are one dominant component: no gain.
+        _, _, plan = self.build_plan("powerlaw-trees", 120)
+        assert plan.component_split_gain() < 0.25
+        assert not plan.recommend_split()
+
+    def test_balanced_components_split(self):
+        # sparse-access-forest: several mid-sized components per epoch.
+        _, _, plan = self.build_plan("sparse-access-forest", 200)
+        assert plan.recommend_split()
+
+    def test_auto_no_split_is_bit_identical(self):
+        problem = build_workload("powerlaw-trees", 40, seed=9)
+        layout, _ = tree_layouts(problem, "ideal")
+        thresholds = geometric_thresholds(
+            unit_xi(max(layout.critical_set_size, 6)), 0.25
+        )
+        base = run_two_phase(
+            problem.instances, layout, UnitRaise(), thresholds,
+            mis="greedy", engine="incremental",
+        )
+        auto = run_two_phase(
+            problem.instances, layout, UnitRaise(), thresholds,
+            mis="greedy", engine="parallel", workers=2,
+            plan_granularity="auto",
+        )
+        assert base.semantic_tuple() == auto.semantic_tuple()
+
+    def test_auto_split_matches_component_mode(self):
+        from repro.algorithms import solve_arbitrary_trees
+
+        problem = build_workload("sparse-access-forest", 80, seed=9)
+        auto = solve_arbitrary_trees(
+            problem, epsilon=0.25, mis="greedy", engine="parallel",
+            workers=2, plan_granularity="auto",
+        )
+        comp = solve_arbitrary_trees(
+            problem, epsilon=0.25, mis="greedy", engine="parallel",
+            workers=2, plan_granularity="component",
+        )
+        for part in auto.parts or {"": auto}:
+            a = (auto.parts or {"": auto})[part]
+            c = (comp.parts or {"": comp})[part]
+            assert a.solution.profit == c.solution.profit
+        auto.solution.verify()
+        assert auto.certified_ratio >= 1.0
+
+    def test_auto_rejected_for_serial_engines(self):
+        problem = build_workload("multi-tenant-forest", 10, seed=0)
+        layout, _ = tree_layouts(problem, "ideal")
+        with pytest.raises(ValueError, match="plan_granularity= applies only"):
+            run_two_phase(
+                problem.instances, layout, UnitRaise(), [0.9],
+                mis="greedy", engine="incremental", plan_granularity="auto",
+            )

@@ -1,0 +1,347 @@
+"""Integration suite for the scheduling service.
+
+The acceptance contract of the service layer:
+
+* **Bit-identity** -- served results equal direct
+  :func:`repro.algorithms.solve_auto` calls
+  (``TwoPhaseResult.semantic_tuple()`` through the report digest) for
+  every engine x backend combination, cold and cached;
+* **Keying** -- resubmission and isomorphic relabelings hit the cache;
+  different knobs do not;
+* **Coalescing** -- duplicate in-flight requests share one future and
+  one solve;
+* **Attribution** -- a failed entry of a batch raises
+  :class:`ServiceError` naming that request's label and fingerprint;
+* **Persistence** -- a service restarted over the same disk tier
+  serves without re-solving.
+"""
+import random
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.algorithms import solve_auto
+from repro.core.engines import BACKENDS
+from repro.core.problem import Problem
+from repro.service import (
+    SchedulingService,
+    ServiceError,
+    SolveKnobs,
+    SolveRequest,
+    report_semantic_digest,
+)
+from repro.trees.tree import TreeNetwork
+from repro.workloads import build_workload
+
+#: One tree family and one line family keep the sweep CI-sized while
+#: crossing the solve_auto dispatch both ways.
+SWEEP = (("multi-tenant-forest", 16), ("bursty-lines", 14))
+SEED = 4
+EPSILON = 0.3
+
+
+def make_request(name, size, **knob_kwargs):
+    knob_kwargs.setdefault("epsilon", EPSILON)
+    knob_kwargs.setdefault("mis", "greedy")
+    return SolveRequest.from_workload(name, size, seed=SEED, **knob_kwargs)
+
+
+def direct_digest(name, size, **knob_kwargs):
+    knobs = SolveKnobs(
+        epsilon=knob_kwargs.pop("epsilon", EPSILON),
+        mis=knob_kwargs.pop("mis", "greedy"),
+        seed=knob_kwargs.pop("seed", SEED),
+        **knob_kwargs,
+    )
+    report = solve_auto(
+        build_workload(name, size, seed=SEED),
+        epsilon=knobs.epsilon,
+        mis=knobs.mis,
+        seed=knobs.seed,
+        decomposition=knobs.decomposition,
+        engine=knobs.engine,
+        workers=knobs.workers,
+        backend=knobs.backend,
+        plan_granularity=knobs.plan_granularity,
+    )
+    return report_semantic_digest(report)
+
+
+class TestBitIdentity:
+    """Service == direct library call, cold and cached, every config."""
+
+    @pytest.mark.parametrize("name,size", SWEEP)
+    @pytest.mark.parametrize("engine", ("reference", "incremental"))
+    def test_serial_engines(self, name, size, engine):
+        service = SchedulingService(workers=2)
+        request = make_request(name, size, engine=engine)
+        cold = service.solve(request)
+        cached = service.solve(request)
+        assert cold.status == "miss" and cached.status == "hit"
+        expected = direct_digest(name, size, engine=engine)
+        assert report_semantic_digest(cold.report) == expected
+        assert report_semantic_digest(cached.report) == expected
+        assert service.stats["solves"] == 1
+
+    @pytest.mark.parametrize("name,size", SWEEP)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_parallel_backends(self, name, size, backend):
+        service = SchedulingService(workers=2)
+        workers = 1 if backend == "serial" else 2
+        request = make_request(
+            name, size, engine="parallel", workers=workers, backend=backend
+        )
+        cold = service.solve(request)
+        cached = service.solve(request)
+        expected = direct_digest(
+            name, size, engine="parallel", workers=workers, backend=backend
+        )
+        assert report_semantic_digest(cold.report) == expected
+        assert report_semantic_digest(cached.report) == expected
+        # Cross-engine bit-identity carries through the service too.
+        assert expected == direct_digest(name, size, engine="incremental")
+
+    def test_luby_oracle_round_trips(self):
+        service = SchedulingService(workers=2)
+        request = make_request("multi-tenant-forest", 16, mis="luby")
+        cold = service.solve(request)
+        assert report_semantic_digest(cold.report) == direct_digest(
+            "multi-tenant-forest", 16, mis="luby"
+        )
+
+
+class TestKeying:
+    def test_relabeled_resubmission_hits(self):
+        problem = build_workload("multi-tenant-forest", 16, seed=SEED)
+        knobs = SolveKnobs(epsilon=EPSILON, mis="greedy", seed=SEED)
+        service = SchedulingService(workers=2)
+        first = service.solve(SolveRequest(problem=problem, knobs=knobs))
+        assert first.status == "miss"
+        rng = random.Random(7)
+        nmap = {nid: nid + 50 for nid in problem.networks}
+        dmap = {a.demand_id: a.demand_id + 900 for a in problem.demands}
+        networks = {
+            nmap[nid]: TreeNetwork(
+                nmap[nid], [(u, v) for (_n, u, v) in net.edges()]
+            )
+            for nid, net in problem.networks.items()
+        }
+        demands = [
+            replace(a, demand_id=dmap[a.demand_id]) for a in problem.demands
+        ]
+        rng.shuffle(demands)
+        access = {
+            dmap[d]: tuple(sorted(nmap[n] for n in nets))
+            for d, nets in problem.access.items()
+        }
+        relabeled = SolveRequest(
+            problem=Problem(networks, demands, access), knobs=knobs
+        )
+        second = service.solve(relabeled)
+        assert second.status == "hit"
+        assert service.stats["solves"] == 1
+
+    def test_different_knobs_do_not_alias(self):
+        service = SchedulingService(workers=2)
+        a = service.solve(
+            SolveRequest.from_workload(
+                "bursty-lines", 14, seed=SEED,
+                knobs=SolveKnobs(epsilon=EPSILON, mis="greedy", seed=0),
+            )
+        )
+        b = service.solve(
+            SolveRequest.from_workload(
+                "bursty-lines", 14, seed=SEED,
+                knobs=SolveKnobs(epsilon=EPSILON, mis="greedy", seed=1),
+            )
+        )
+        assert a.fingerprint != b.fingerprint
+        assert b.status == "miss"
+        assert service.stats["solves"] == 2
+
+    def test_from_workload_rejects_mixed_knob_forms(self):
+        with pytest.raises(ValueError, match="not both"):
+            SolveRequest.from_workload(
+                "bursty-lines", 14, knobs=SolveKnobs(), mis="greedy"
+            )
+
+    def test_submit_problem_uses_default_knobs(self):
+        service = SchedulingService(
+            workers=2,
+            default_knobs=SolveKnobs(epsilon=EPSILON, mis="greedy", seed=SEED),
+        )
+        problem = build_workload("bursty-lines", 14, seed=SEED)
+        result = service.submit_problem(problem, label="adhoc").result()
+        assert result.label == "adhoc"
+        assert report_semantic_digest(result.report) == direct_digest(
+            "bursty-lines", 14
+        )
+
+
+class TestCoalescing:
+    def test_inflight_duplicates_share_one_solve(self, monkeypatch):
+        import repro.service.server as server_mod
+
+        gate = threading.Event()
+        release = threading.Event()
+        real = server_mod.solve_auto
+        calls = []
+
+        def gated(problem, **kwargs):
+            calls.append(1)
+            gate.set()
+            assert release.wait(10), "test gate never released"
+            return real(problem, **kwargs)
+
+        monkeypatch.setattr(server_mod, "solve_auto", gated)
+        service = SchedulingService(workers=2)
+        request = make_request("bursty-lines", 14)
+        first = service.submit(request)
+        assert gate.wait(10), "solve never started"
+        second = service.submit(request)
+        third = service.submit(
+            SolveRequest(
+                problem=request.problem, knobs=request.knobs, label="mine"
+            )
+        )
+        release.set()
+        results = [f.result(timeout=30) for f in (first, second, third)]
+        assert len(calls) == 1
+        assert service.stats["coalesced"] == 2
+        assert service.stats["solves"] == 1
+        assert {r.status for r in results} == {"miss"}
+        assert report_semantic_digest(results[1].report) == (
+            report_semantic_digest(results[0].report)
+        )
+        # Coalesced callers keep their own identity on the shared solve.
+        assert results[2].label == "mine"
+        assert results[2].fingerprint == results[0].fingerprint
+
+    def test_batch_coalesces_and_preserves_order(self):
+        service = SchedulingService(workers=2)
+        reqs = [
+            make_request("bursty-lines", 14),
+            make_request("multi-tenant-forest", 16),
+            make_request("bursty-lines", 14),
+        ]
+        results = service.solve_batch(reqs)
+        assert [r.label for r in results] == [r.label for r in reqs]
+        assert service.stats["solves"] == 2
+        assert report_semantic_digest(results[0].report) == (
+            report_semantic_digest(results[2].report)
+        )
+
+
+class TestErrorAttribution:
+    def test_failure_names_label_and_fingerprint(self):
+        service = SchedulingService(workers=2)
+        request = make_request("bursty-lines", 14, mis="nonsense-oracle")
+        fp = request.fingerprint()
+        with pytest.raises(ServiceError, match="bursty-lines@14"):
+            service.solve(request)
+        with pytest.raises(ServiceError, match=fp.short):
+            service.solve(request)
+
+    def test_batch_failure_is_attributable(self):
+        service = SchedulingService(workers=2)
+        good = make_request("bursty-lines", 14)
+        bad = make_request("multi-tenant-forest", 16, mis="nonsense-oracle")
+        with pytest.raises(ServiceError) as err:
+            service.solve_batch([good, bad, good])
+        assert "multi-tenant-forest@16" in str(err.value)
+        assert bad.fingerprint().short in str(err.value)
+        assert "bursty-lines" not in str(err.value)
+
+    def test_invalid_knob_combo_rejected_before_the_cache(self):
+        # engine='incremental' + backend='process' normalizes to the
+        # same cache key as the valid backend=None request; it must be
+        # rejected deterministically, never served from that entry.
+        service = SchedulingService(workers=2)
+        valid = make_request("bursty-lines", 14, engine="incremental")
+        service.solve(valid)  # primes the cache under the shared key
+        invalid = SolveRequest(
+            problem=valid.problem,
+            knobs=replace(valid.knobs, backend="process"),
+            label="bad-combo",
+        )
+        with pytest.raises(ServiceError, match="bad-combo.*applies only"):
+            service.solve(invalid)
+        assert service.stats["solves"] == 1
+
+    def test_failure_keeps_cause_chain(self):
+        service = SchedulingService(workers=2)
+        request = make_request("bursty-lines", 14, mis="nonsense-oracle")
+        with pytest.raises(ServiceError) as err:
+            service.solve(request)
+        assert err.value.__cause__ is not None
+
+    def test_failed_fingerprint_can_be_retried(self, monkeypatch):
+        import repro.service.server as server_mod
+
+        real = server_mod.solve_auto
+        boom = {"armed": True}
+
+        def flaky(problem, **kwargs):
+            if boom.pop("armed", False):
+                raise RuntimeError("transient failure")
+            return real(problem, **kwargs)
+
+        monkeypatch.setattr(server_mod, "solve_auto", flaky)
+        service = SchedulingService(workers=2)
+        request = make_request("bursty-lines", 14)
+        with pytest.raises(ServiceError, match="transient"):
+            service.solve(request)
+        result = service.solve(request)  # in-flight slot was released
+        assert result.status == "miss"
+
+
+class TestPersistence:
+    def test_restart_serves_from_disk(self, tmp_path):
+        request = make_request("multi-tenant-forest", 16)
+        first = SchedulingService(workers=2, disk_dir=str(tmp_path))
+        cold = first.solve(request)
+        second = SchedulingService(workers=2, disk_dir=str(tmp_path))
+        warm = second.solve(request)
+        assert warm.status == "hit"
+        assert second.stats["solves"] == 0
+        assert second.stats["cache"]["disk_hits"] == 1
+        assert report_semantic_digest(warm.report) == (
+            report_semantic_digest(cold.report)
+        )
+
+    def test_strict_disk_failure_flows_through_the_future(self, tmp_path):
+        # A strict-mode integrity failure must resolve the registered
+        # in-flight future (coalesced duplicates are waiting on it),
+        # wrapped as an attributable ServiceError -- not escape raw in
+        # the probing thread while the future hangs.
+        request = make_request("bursty-lines", 14)
+        primer = SchedulingService(workers=2, disk_dir=str(tmp_path))
+        primer.solve(request)
+        primer.cache._path(request.fingerprint().digest).write_bytes(b"junk")
+        strict = SchedulingService(
+            workers=2, disk_dir=str(tmp_path), strict_cache=True
+        )
+        fut = strict.submit(request)
+        with pytest.raises(ServiceError, match=request.fingerprint().short):
+            fut.result(timeout=30)
+        assert strict.stats["inflight"] == 0
+
+    def test_disk_write_failure_degrades_not_fails(self, tmp_path):
+        # An unwritable tier-2 (here: the configured dir path is an
+        # existing regular file, so mkdir fails) must not fail the
+        # request -- the solve succeeded and stays served from memory.
+        blocked = tmp_path / "blocked"
+        blocked.write_text("not a directory")
+        service = SchedulingService(workers=2, disk_dir=str(blocked))
+        request = make_request("bursty-lines", 14)
+        cold = service.solve(request)  # the solve itself succeeded
+        assert cold.status == "miss"
+        assert service.stats["cache"]["disk_write_failures"] == 1
+        warm = service.solve(request)  # served from the memory tier
+        assert warm.status == "hit"
+        assert service.stats["solves"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            SchedulingService(workers=0)

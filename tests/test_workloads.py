@@ -12,6 +12,7 @@ from repro.workloads.random_suite import (
     WorkloadSpec,
     build_workload,
     bursty_line_problem,
+    diurnal_line_problem,
     get_workload,
     multi_tenant_forest_problem,
     register_workload,
@@ -315,6 +316,48 @@ class TestBurstyLineGenerator:
     def test_too_short_timeline_rejected(self):
         with pytest.raises(ValueError, match="at least 4 slots"):
             bursty_line_problem(3, 5)
+
+
+class TestDiurnalCycleGenerator:
+    def test_windows_valid(self):
+        problem = diurnal_line_problem(40, 30, r=2, seed=1)
+        for a in problem.demands:
+            assert isinstance(a, WindowDemand)
+            assert 0 <= a.release <= a.deadline <= 39
+            assert a.deadline - a.release + 1 >= a.processing
+
+    def test_releases_follow_the_sine_wave(self):
+        # With 2 cycles over 200 slots and amplitude 0.9, the positive
+        # half-waves are [0, 50) u [100, 150); ~74% of the intensity
+        # mass lies there, so a large sample concentrates accordingly.
+        problem = diurnal_line_problem(
+            200, 400, seed=2, n_cycles=2, amplitude=0.9
+        )
+        peak = sum(1 for a in problem.demands if a.release % 100 < 50)
+        assert peak / len(problem.demands) > 0.6
+
+    def test_zero_amplitude_is_roughly_uniform(self):
+        problem = diurnal_line_problem(100, 400, seed=3, amplitude=0.0)
+        peak = sum(1 for a in problem.demands if a.release % 50 < 25)
+        assert 0.35 < peak / len(problem.demands) < 0.65
+
+    def test_deterministic_and_registered(self):
+        a = build_workload("diurnal-cycle", 24, seed=5)
+        b = build_workload("diurnal-cycle", 24, seed=5)
+        key = lambda p: [
+            (d.release, d.deadline, d.processing, d.profit) for d in p.demands
+        ]
+        assert key(a) == key(b)
+        spec = get_workload("diurnal-cycle")
+        assert spec.kind == "line" and spec.heights == "narrow" and spec.scale
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 8 slots"):
+            diurnal_line_problem(6, 5)
+        with pytest.raises(ValueError, match="amplitude"):
+            diurnal_line_problem(20, 5, amplitude=1.5)
+        with pytest.raises(ValueError, match="cycle"):
+            diurnal_line_problem(20, 5, n_cycles=0)
 
 
 class TestFigure1:
