@@ -41,14 +41,15 @@ variable when set (CI smoke legs run the whole suite under
 """
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
 import sys
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.demand import DemandInstance
 from repro.core.dual import DualState, RaiseEvent, RaiseRule
@@ -267,6 +268,10 @@ class _PooledBackend(EpochExecutorBackend):
 
     def __init__(self, workers: int) -> None:
         self.workers = workers
+        #: The executor the last wave dispatched on -- the process
+        #: backend's broken-pool eviction must target exactly this
+        #: instance, never whatever happens to be registered now.
+        self._last_pool: Optional[Executor] = None
 
     def _pool(self):
         raise NotImplementedError
@@ -281,6 +286,7 @@ class _PooledBackend(EpochExecutorBackend):
         n_chunks = min(self.workers, len(jobs))
         chunks = [jobs[c::n_chunks] for c in range(n_chunks)]
         pool = self._pool()
+        self._last_pool = pool
         futures = [pool.submit(_run_jobs, chunk) for chunk in chunks[1:]]
         done = _run_jobs(chunks[0])
         for fut in futures:
@@ -291,27 +297,45 @@ class _PooledBackend(EpochExecutorBackend):
 #: Process-wide executor caches, one pool per worker count.  Pool
 #: start-up costs a few hundred microseconds (threads) to tens of
 #: milliseconds (processes) -- comparable to a whole small first phase
-#: -- so pools are kept warm across solves.  Pools are never shut down
-#: explicitly; ``concurrent.futures`` reaps them at interpreter exit.
+#: -- so pools are kept warm across solves.  :func:`shutdown_pools`
+#: tears every family down explicitly (the async front door's drain
+#: path and the lifecycle tests use it); an ``atexit`` hook runs it at
+#: interpreter exit so retired executors never outlive the process.
 _THREAD_POOLS: Dict[int, ThreadPoolExecutor] = {}
 _PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
 
+_PoolT = TypeVar("_PoolT", bound=Executor)
+
 
 def _warm_pool(
-    pools: Dict[int, ThreadPoolExecutor], workers: int, prefix: str
-) -> ThreadPoolExecutor:
-    """Fetch-or-create a keyed warm pool (shared get/setdefault dance)."""
+    pools: Dict[int, _PoolT], workers: int, factory: Callable[[], _PoolT]
+) -> _PoolT:
+    """Fetch-or-create a keyed warm pool (shared get/setdefault dance).
+
+    Two threads can race past the ``get`` and both construct an
+    executor; ``setdefault`` picks one winner, and the loser is shut
+    down immediately -- an orphaned :class:`ThreadPoolExecutor` would
+    otherwise keep unjoined idle threads alive for the process
+    lifetime (neither pool has run anything yet, so the losing
+    shutdown is instant).
+    """
     pool = pools.get(workers)
     if pool is None:
-        pool = pools.setdefault(
-            workers,
-            ThreadPoolExecutor(max_workers=workers, thread_name_prefix=prefix),
-        )
+        fresh = factory()
+        pool = pools.setdefault(workers, fresh)
+        if pool is not fresh:
+            fresh.shutdown(wait=False)
     return pool
 
 
 def _shared_thread_pool(workers: int) -> ThreadPoolExecutor:
-    return _warm_pool(_THREAD_POOLS, workers, "repro-epoch")
+    return _warm_pool(
+        _THREAD_POOLS,
+        workers,
+        lambda: ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-epoch"
+        ),
+    )
 
 
 #: Warm request-level pools for the scheduling service, kept separate
@@ -334,7 +358,37 @@ def shared_service_pool(workers: int) -> ThreadPoolExecutor:
     """
     if workers < 1:
         raise ValueError(f"pool workers must be positive, got {workers}")
-    return _warm_pool(_SERVICE_POOLS, workers, "repro-service")
+    return _warm_pool(
+        _SERVICE_POOLS,
+        workers,
+        lambda: ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        ),
+    )
+
+
+def shutdown_pools(wait: bool = True) -> int:
+    """Shut down every warm pool (all three families); returns the count.
+
+    The explicit teardown of the warm-pool discipline: the async front
+    door's graceful drain calls it once all requests are resolved, the
+    lifecycle tests call it to assert zero live executors, and an
+    ``atexit`` hook calls it so interpreter shutdown reaps worker
+    processes deterministically.  Safe to call at any quiescent point
+    -- the next solve simply re-warms pools on demand -- but a solve
+    *concurrently* holding a popped pool may see "cannot schedule new
+    futures after shutdown"; callers drain first.
+    """
+    count = 0
+    for pools in (_THREAD_POOLS, _PROCESS_POOLS, _SERVICE_POOLS):
+        while pools:
+            _, pool = pools.popitem()
+            pool.shutdown(wait=wait)
+            count += 1
+    return count
+
+
+atexit.register(shutdown_pools)
 
 
 def _mp_context():
@@ -351,13 +405,13 @@ def _mp_context():
 
 
 def _shared_process_pool(workers: int) -> ProcessPoolExecutor:
-    pool = _PROCESS_POOLS.get(workers)
-    if pool is None:
-        pool = _PROCESS_POOLS.setdefault(
-            workers,
-            ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()),
-        )
-    return pool
+    return _warm_pool(
+        _PROCESS_POOLS,
+        workers,
+        lambda: ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context()
+        ),
+    )
 
 
 class ThreadBackend(_PooledBackend):
@@ -398,8 +452,21 @@ class ProcessBackend(_PooledBackend):
         except BrokenProcessPool:
             # A crashed worker poisons the whole executor; evict it so
             # the next solve gets a fresh pool instead of instant
-            # re-failure from the warm cache.
-            _PROCESS_POOLS.pop(self.workers, None)
+            # re-failure from the warm cache -- and *shut it down*, or
+            # the evicted executor's management thread, call-queue
+            # feeder and dead worker processes leak for the process
+            # lifetime.  Evict only if the registry still holds the
+            # pool *this wave ran on*: a concurrent failure may already
+            # have evicted it and a healthy replacement may be serving
+            # other solves -- popping (let alone cancel-shutting) that
+            # one would spuriously fail unrelated work.  ``wait=False``:
+            # the manager thread is already tearing the broken pool's
+            # internals down; blocking here would stall the error path.
+            broken = self._last_pool
+            if broken is not None and _PROCESS_POOLS.get(self.workers) is broken:
+                _PROCESS_POOLS.pop(self.workers, None)
+            if broken is not None:
+                broken.shutdown(wait=False, cancel_futures=True)
             raise
 
 

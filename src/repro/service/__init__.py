@@ -2,10 +2,14 @@
 
 A long-lived serving loop in front of the two-phase framework --
 canonical request fingerprinting (:mod:`repro.service.fingerprint`), a
-two-tier verified result cache (:mod:`repro.service.cache`), and a
-coalescing, batching :class:`SchedulingService`
-(:mod:`repro.service.server`).  See the "Serving" section of README.md.
+two-tier verified result cache with TTL/invalidation
+(:mod:`repro.service.cache`), a coalescing, batching
+:class:`SchedulingService` (:mod:`repro.service.server`), and an
+asyncio front door with a JSON-over-TCP endpoint
+(:mod:`repro.service.async_front`).  See the "Serving" section of
+README.md.
 """
+from repro.service.async_front import AsyncSchedulingService
 from repro.service.cache import (
     CacheEntry,
     CacheIntegrityError,
@@ -28,6 +32,7 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "AsyncSchedulingService",
     "CacheEntry",
     "CacheIntegrityError",
     "CacheStats",

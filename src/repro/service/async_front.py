@@ -1,0 +1,458 @@
+"""The asyncio front door of the scheduling service.
+
+:class:`AsyncSchedulingService` wraps the synchronous, thread-pooled
+:class:`~repro.service.server.SchedulingService` behind ``asyncio`` so
+the serving path can sit inside a real RPC process: ``await
+front.solve(request)``, batches via :meth:`solve_batch`
+(``asyncio.gather`` underneath), and a minimal newline-delimited
+JSON-over-TCP endpoint (:meth:`serve`, built on
+``asyncio.start_server``) for clients that are not even Python.
+
+The event loop never runs solver code.  A request's blocking *front
+half* -- validation, fingerprinting, the memory probe, dispatch -- runs
+on a small admission pool owned by the front door (deliberately not
+the service pool: solves occupy that one for seconds at a time, and a
+memory hit must never queue behind them), while the solve itself runs
+where it always has, on the warm service pool inside
+:meth:`SchedulingService.submit`; the coroutine side only awaits the
+resulting futures (``asyncio.wrap_future`` bridges them back into the
+loop).  Caching and coalescing therefore behave exactly as in the
+synchronous service: the front door is a veneer, not a second serving
+path, and the results it hands out are the same shared objects.
+
+**Backpressure.**  Serving millions of users means the front door, not
+the solver, sees the arrival process (cf. the queueing-network
+scheduling regime of Shah--Shin, arXiv:0908.3670): admission must be
+bounded or a burst turns into an unbounded pile of in-flight work.  A
+semaphore caps concurrently *admitted* requests at ``max_inflight``;
+arrivals beyond the cap queue on the semaphore, and
+:attr:`stats` exposes live queue depth, live in-flight count and their
+high-water marks so an operator can see saturation directly.
+
+**Drain.**  :meth:`drain` stops the TCP listener, lets every admitted
+and queued request resolve, answers late arrivals with a rejection, and
+closes the remaining connections; :meth:`aclose` (also the ``async
+with`` exit) drains and then tears down the process-wide executor
+pools via :func:`~repro.core.engines.backends.shutdown_pools`, so a
+cleanly closed front door leaves zero live worker threads or
+processes.
+
+Wire protocol (one JSON object per line, responses tagged with the
+request's optional ``id``)::
+
+    -> {"workload": "diurnal-cycle", "size": 64, "seed": 1,
+        "knobs": {"mis": "greedy", "epsilon": 0.25}, "id": 7}
+    <- {"ok": true, "id": 7, "label": "diurnal-cycle@64#1",
+        "status": "miss", "profit": ..., "fingerprint": ...,
+        "semantic_digest": ..., "latency_s": ...}
+    -> {"op": "stats"}
+    <- {"ok": true, "stats": {...}}
+
+``semantic_digest`` is the served report's
+:func:`~repro.service.cache.report_semantic_digest`, so a remote
+client can verify bit-identity with a local
+:func:`~repro.algorithms.auto.solve_auto` without unpickling anything.
+Responses to pipelined requests may arrive out of order -- that is what
+``id`` is for.  Errors come back as ``{"ok": false, "id": ...,
+"error": "..."}`` on the same line discipline; a malformed line never
+kills the connection.
+"""
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.engines.backends import shutdown_pools
+from repro.core.problem import Problem
+from repro.service.cache import report_semantic_digest
+from repro.service.fingerprint import SolveKnobs
+from repro.service.server import (
+    SchedulingService,
+    ServiceError,
+    ServiceResult,
+    SolveRequest,
+)
+
+__all__ = ["AsyncSchedulingService"]
+
+#: Per-line buffer limit of the TCP endpoint (asyncio's default 64 KiB
+#: is small for a request carrying a large knobs object).
+WIRE_LINE_LIMIT = 1 << 20
+
+
+class AsyncSchedulingService:
+    """An asyncio veneer over :class:`SchedulingService` with admission
+    control, a JSON-over-TCP endpoint and graceful drain.
+
+    Parameters
+    ----------
+    service:
+        An existing synchronous service to front; mutually exclusive
+        with *service_kwargs*, which construct a fresh one
+        (``capacity=``, ``disk_dir=``, ``ttl=`` ... -- everything
+        :class:`SchedulingService` takes).
+    max_inflight:
+        How many requests may be admitted (dispatched to the service)
+        at once; arrivals beyond it wait their turn on the semaphore.
+    """
+
+    def __init__(
+        self,
+        service: Optional[SchedulingService] = None,
+        *,
+        max_inflight: int = 32,
+        **service_kwargs,
+    ) -> None:
+        if service is not None and service_kwargs:
+            raise ValueError("pass service= or service kwargs, not both")
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        self.service = (
+            service if service is not None else SchedulingService(**service_kwargs)
+        )
+        self.max_inflight = max_inflight
+        self._sem = asyncio.Semaphore(max_inflight)
+        # The admission pool runs the blocking *front half* of a
+        # request -- validate + fingerprint + memory probe + dispatch
+        # -- and response digest lookups.  Deliberately NOT the shared
+        # service pool: solves occupy that pool's threads for their
+        # whole duration, and admission queued behind them would make
+        # even a sub-millisecond memory hit wait out a cold solve
+        # (head-of-line blocking).  Owned by this front door and joined
+        # on drain.
+        self._admission_pool: Optional[ThreadPoolExecutor] = None
+        self._closing = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._request_tasks: Set[asyncio.Task] = set()
+        # Admission-control accounting: queued = waiting on the
+        # semaphore, active = admitted and not yet resolved.
+        self._queued = 0
+        self._active = 0
+        self._peak_queued = 0
+        self._peak_active = 0
+        self._served = 0
+        self._rejected = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Async solve API
+    # ------------------------------------------------------------------
+    async def solve(self, request: SolveRequest) -> ServiceResult:
+        """``await``-able :meth:`SchedulingService.solve`.
+
+        Admission is bounded by ``max_inflight``; past the gate, the
+        blocking submit (fingerprint + cache probe + dispatch) runs on
+        the warm service pool and the coroutine awaits the resolution.
+        Raises :class:`ServiceError` for solve failures (unchanged from
+        the sync path) and for requests arriving after :meth:`drain`
+        began.
+        """
+        if self._closing:
+            self._rejected += 1
+            raise ServiceError(
+                f"request {request.label or '<unlabeled>'} rejected: "
+                "service is draining"
+            )
+        self._queued += 1
+        self._peak_queued = max(self._peak_queued, self._queued)
+        self._idle.clear()
+        admitted = False
+        try:
+            await self._sem.acquire()
+            admitted = True
+            self._queued -= 1
+            self._active += 1
+            self._peak_active = max(self._peak_active, self._active)
+            loop = asyncio.get_running_loop()
+            # Two hops: the admission pool runs the (blocking) submit,
+            # which returns the request's concurrent future; awaiting
+            # that future is the solve/cache-hit resolution itself.
+            inner = await loop.run_in_executor(
+                self._admission(), self.service.submit, request
+            )
+            result = await asyncio.wrap_future(inner)
+            self._served += 1
+            return result
+        finally:
+            if admitted:
+                self._active -= 1
+                self._sem.release()
+            else:
+                self._queued -= 1
+            if self._queued == 0 and self._active == 0:
+                self._idle.set()
+
+    def _admission(self) -> ThreadPoolExecutor:
+        if self._admission_pool is None:
+            self._admission_pool = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-admission"
+            )
+        return self._admission_pool
+
+    async def solve_batch(
+        self, requests: Sequence[SolveRequest]
+    ) -> List[ServiceResult]:
+        """Serve a batch concurrently; results come back in input order.
+
+        ``asyncio.gather`` underneath: duplicates coalesce inside the
+        service exactly as in the synchronous batch path, and the first
+        failure raises its attributable :class:`ServiceError`.
+        """
+        return list(await asyncio.gather(*(self.solve(r) for r in requests)))
+
+    async def solve_problem(
+        self,
+        problem: Problem,
+        knobs: Optional[SolveKnobs] = None,
+        label: Optional[str] = None,
+    ) -> ServiceResult:
+        """Convenience mirror of :meth:`SchedulingService.submit_problem`."""
+        return await self.solve(
+            SolveRequest(
+                problem=problem,
+                knobs=knobs if knobs is not None else self.service.default_knobs,
+                label=label,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # JSON-over-TCP front door
+    # ------------------------------------------------------------------
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Start the TCP endpoint; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port (the form tests and
+        single-box demos use).  The listener runs on the current event
+        loop until :meth:`drain`/:meth:`aclose`.
+        """
+        if self._server is not None:
+            raise RuntimeError("serve() already called on this front door")
+        if self._closing:
+            raise RuntimeError("cannot serve() on a draining front door")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=WIRE_LINE_LIMIT
+        )
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client: spawn a task per request line, answer as done.
+
+        Responses are written under a per-connection lock (stream
+        writers are not task-safe) and may interleave across requests
+        -- pipelining clients correlate by ``id``.
+        """
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        pending: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # A line overran WIRE_LINE_LIMIT: the stream is no
+                    # longer line-delimited, so the connection must
+                    # end -- but gracefully: answer the offense, and
+                    # fall through to the pending-gather below so
+                    # already-accepted requests still get responses.
+                    await self._write_response(
+                        writer, write_lock,
+                        {
+                            "ok": False,
+                            "id": None,
+                            "error": (
+                                "ValueError: request line exceeds "
+                                f"{WIRE_LINE_LIMIT} bytes"
+                            ),
+                        },
+                    )
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock)
+                )
+                for registry in (pending, self._request_tasks):
+                    registry.add(task)
+                    task.add_done_callback(registry.discard)
+            if pending:
+                await asyncio.gather(*tuple(pending), return_exceptions=True)
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response = await self._dispatch_wire(line)
+        await self._write_response(writer, write_lock, response)
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: dict,
+    ) -> None:
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+
+    async def _dispatch_wire(self, line: bytes) -> dict:
+        """One wire request -> one response dict; never raises."""
+        req_id = None
+        try:
+            message = json.loads(line.decode("utf-8"))
+            if not isinstance(message, dict):
+                raise ValueError("request must be a JSON object")
+            req_id = message.get("id")
+            if message.get("op") == "stats":
+                return {"ok": True, "id": req_id, "stats": self.stats}
+            request = self._wire_request(message)
+            result = await self.solve(request)
+            return {
+                "ok": True,
+                "id": req_id,
+                "label": result.label,
+                "status": result.status,
+                "profit": result.profit,
+                "fingerprint": result.fingerprint.digest,
+                "semantic_digest": await self._response_digest(result),
+                "latency_s": result.latency_s,
+            }
+        except Exception as exc:
+            return {
+                "ok": False,
+                "id": req_id,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    async def _response_digest(self, result: ServiceResult) -> str:
+        """The served report's semantic digest, cheaply.
+
+        Every admitted result already had its digest computed by the
+        cache (the recorded verification digest *is*
+        :func:`report_semantic_digest` of the report under the default
+        configuration), so the hot path is a locked metadata peek.
+        Only when the entry has already left the memory tier (evicted,
+        invalidated) is the digest recomputed -- and then on the
+        admission pool, never on the event loop: digesting a report
+        serializes the whole solution, exactly the class of work the
+        loop must not run.
+        """
+        digest = self.service.peek_digest(result.fingerprint)
+        if digest is not None:
+            return digest
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._admission(), report_semantic_digest, result.report
+        )
+
+    @staticmethod
+    def _wire_request(message: dict) -> SolveRequest:
+        """Decode a wire message into a registry-workload request."""
+        try:
+            name = message["workload"]
+            size = int(message["size"])
+        except KeyError as exc:
+            raise ValueError(f"request is missing field {exc}") from exc
+        seed = int(message.get("seed", 0))
+        knobs = message.get("knobs") or {}
+        if not isinstance(knobs, dict):
+            raise ValueError("knobs must be a JSON object of SolveKnobs fields")
+        return SolveRequest.from_workload(name, size, seed=seed, **knobs)
+
+    # ------------------------------------------------------------------
+    # Drain / shutdown
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Graceful stop: no new work, all accepted work resolves.
+
+        Order matters: (1) stop accepting -- the TCP listener closes
+        and :meth:`solve` starts rejecting, (2) every queued and
+        admitted request resolves (their responses still go out), (3)
+        surviving connections close, (4) the front door's own
+        admission pool is joined.  Idempotent.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()
+        if self._request_tasks:
+            await asyncio.gather(
+                *tuple(self._request_tasks), return_exceptions=True
+            )
+        for writer in tuple(self._writers):
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+        self._writers.clear()
+        if self._admission_pool is not None:
+            # Idle by construction at this point, so the join is quick.
+            self._admission_pool.shutdown(wait=True)
+            self._admission_pool = None
+
+    async def aclose(self, shutdown_executors: bool = True) -> None:
+        """Drain, then (by default) tear down the warm executor pools.
+
+        The pool teardown
+        (:func:`~repro.core.engines.backends.shutdown_pools`) is
+        process-wide -- every family, epoch pools included -- which is
+        exactly what a serving process wants on the way out: zero live
+        executors after a clean close.  Pass
+        ``shutdown_executors=False`` when other services in the process
+        keep running; pools re-warm on demand either way.
+        """
+        await self.drain()
+        if shutdown_executors:
+            # Quick by construction: the drain left every pool idle.
+            shutdown_pools(wait=True)
+
+    async def __aenter__(self) -> "AsyncSchedulingService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Front-door admission counters plus the wrapped service's."""
+        return {
+            "max_inflight": self.max_inflight,
+            "queued": self._queued,
+            "active": self._active,
+            "peak_queued": self._peak_queued,
+            "peak_active": self._peak_active,
+            "served": self._served,
+            "rejected": self._rejected,
+            "connections": len(self._writers),
+            "draining": self._closing,
+            "service": self.service.stats,
+        }

@@ -16,17 +16,39 @@ degrades to a miss (or raises :class:`CacheIntegrityError`, naming the
 offending fingerprint, under ``strict=True``).  A wrong cached answer
 is the one failure mode a result cache must never have.
 
+Entries can also *age out*: a cache constructed with ``ttl=`` (or a
+``put``/``make_entry`` given a per-entry override) stamps each entry
+with an absolute ``expires_at`` deadline on the cache's injectable
+monotonic clock, and an expired entry is never served from either tier
+-- a memory hit past its deadline is dropped, a disk hit past its
+deadline is unlinked, both counting an ``expiration``.  For serving
+problems whose ground truth mutates in bulk (link capacities re-planned
+for the next epoch), entries carry an integer ``epoch`` tag and
+:meth:`ResultCache.invalidate` can drop everything below the current
+capacity epoch -- or one fingerprint, or an arbitrary predicate --
+from both tiers without flushing unrelated warm entries.
+
+The default clock is :func:`time.monotonic` (on Linux, seconds since
+boot, so disk-tier deadlines stay meaningful across restarts within
+one boot); pass ``clock=`` to pin time in tests.  Deadlines written by
+a previous boot are best-effort -- the capacity-epoch tag, which is
+part of the *fingerprint* for service traffic, is the durable
+invalidation mechanism.
+
 Statistics (:class:`CacheStats`) count hits per tier, misses, stores,
-evictions and verification failures; the service and bench E18 report
-them directly.
+evictions, expirations, invalidations and verification failures; the
+service and benches E18/E19 report them directly.
 """
 from __future__ import annotations
 
+import os
 import pickle
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.algorithms.base import AlgorithmReport
 from repro.core.canonical import stable_digest
@@ -98,6 +120,13 @@ class CacheStats:
     #: entry stays served from memory, so this is degradation, not
     #: failure.
     disk_write_failures: int = 0
+    #: Lookups that found an entry past its TTL deadline (either tier);
+    #: the entry is dropped and the lookup proceeds as a miss.
+    expirations: int = 0
+    #: Entries dropped by an explicit :meth:`ResultCache.invalidate`
+    #: call (per entry per tier, so one fingerprint present in both
+    #: tiers counts twice).
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -121,17 +150,31 @@ class CacheStats:
             "evictions": self.evictions,
             "verify_failures": self.verify_failures,
             "disk_write_failures": self.disk_write_failures,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
             "hit_ratio": self.hit_ratio,
         }
 
 
+#: Sentinel distinguishing "use the cache-wide TTL" from an explicit
+#: per-entry ``ttl=None`` ("this entry never expires").
+_UNSET_TTL = object()
+
+
 @dataclass
 class CacheEntry:
-    """One admitted value plus its verification digest."""
+    """One admitted value plus its verification digest.
+
+    ``expires_at`` is an absolute deadline on the owning cache's clock
+    (``None`` = never expires); ``epoch`` is the capacity-epoch tag the
+    entry was solved under, the handle for bulk invalidation.
+    """
 
     fingerprint: str
     digest: str
     value: object = field(repr=False)
+    expires_at: Optional[float] = None
+    epoch: int = 0
 
 
 class ResultCache:
@@ -153,6 +196,13 @@ class ResultCache:
     strict:
         When true, a disk entry failing verification raises
         :class:`CacheIntegrityError` instead of degrading to a miss.
+    ttl:
+        Default time-to-live in seconds applied to admitted entries
+        (``None`` = entries never expire).  Per-entry overrides go
+        through ``put``/``make_entry``.
+    clock:
+        The monotonic clock TTL deadlines are stamped and checked
+        against.  Injectable so tests can advance time explicitly.
     """
 
     def __init__(
@@ -161,13 +211,19 @@ class ResultCache:
         disk_dir: Optional[str] = None,
         digest_fn: Callable[[object], str] = report_semantic_digest,
         strict: bool = False,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"cache ttl must be positive or None, got {ttl}")
         self.capacity = capacity
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.digest_fn = digest_fn
         self.strict = strict
+        self.ttl = ttl
+        self.clock = clock
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
 
@@ -203,30 +259,75 @@ class ResultCache:
         self.stats.misses += 1
         return None
 
-    def put(self, fingerprint: Fingerprint, value) -> None:
+    def put(
+        self,
+        fingerprint: Fingerprint,
+        value,
+        ttl: Union[None, float, object] = _UNSET_TTL,
+        epoch: int = 0,
+    ) -> None:
         """Admit *value* under *fingerprint* into both tiers."""
-        entry = self.make_entry(fingerprint, value)
+        entry = self.make_entry(fingerprint, value, ttl=ttl, epoch=epoch)
         self.stats.stores += 1
         self.admit(entry)
         if self.disk_dir is not None:
             self.write_disk(entry)
 
     def get_memory(self, fingerprint: Fingerprint):
-        """Tier-1 probe only: value or ``None``, refreshing recency."""
+        """Tier-1 probe only: value or ``None``, refreshing recency.
+
+        An entry past its TTL deadline is dropped here, not served --
+        the caller proceeds exactly as on a cold miss (disk probe, then
+        solve; the disk copy carries the same deadline and expires the
+        same way).
+        """
         entry = self._entries.get(fingerprint.digest)
         if entry is None:
+            return None
+        if self._expired(entry):
+            del self._entries[fingerprint.digest]
+            self.stats.expirations += 1
             return None
         self._entries.move_to_end(fingerprint.digest)
         self.stats.hits += 1
         return entry.value
 
-    def make_entry(self, fingerprint: Fingerprint, value) -> CacheEntry:
-        """Build a verified entry (runs the digest; no cache mutation)."""
+    def make_entry(
+        self,
+        fingerprint: Fingerprint,
+        value,
+        ttl: Union[None, float, object] = _UNSET_TTL,
+        epoch: int = 0,
+    ) -> CacheEntry:
+        """Build a verified entry (runs the digest; no cache mutation).
+
+        *ttl* defaults to the cache-wide setting; pass ``None``
+        explicitly for a never-expiring entry, or a float override.
+        """
+        if ttl is _UNSET_TTL:
+            ttl = self.ttl
+        expires_at = None if ttl is None else self.clock() + float(ttl)
         return CacheEntry(
             fingerprint=fingerprint.digest,
             digest=self.digest_fn(value),
             value=value,
+            expires_at=expires_at,
+            epoch=epoch,
         )
+
+    def peek_entry(self, fingerprint: Fingerprint) -> Optional[CacheEntry]:
+        """Memory-tier read with *no* side effects: no recency bump, no
+        stats, no expiry eviction.  For callers that want an entry's
+        metadata (the admission digest, the epoch tag) without acting
+        as a lookup -- the async front door reuses the recorded digest
+        instead of re-digesting reports per response."""
+        return self._entries.get(fingerprint.digest)
+
+    def _expired(self, entry: CacheEntry) -> bool:
+        # ``getattr``: entries pickled by a pre-TTL cache restore
+        # without the new fields; they count as never-expiring.
+        deadline = getattr(entry, "expires_at", None)
+        return deadline is not None and self.clock() >= deadline
 
     def admit(self, entry: CacheEntry) -> None:
         """Insert *entry* into the memory tier, evicting LRU overflow."""
@@ -235,6 +336,101 @@ class ResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    # ``invalidate`` is the plain single-threaded API; the per-tier
+    # methods exist for the service, which drops the memory tier under
+    # its lock and sweeps the disk directory (unpickling every file --
+    # the expensive part) outside it, mirroring the get/admit split.
+
+    def invalidate(
+        self,
+        fingerprint: Optional[Fingerprint] = None,
+        predicate: Optional[Callable[[CacheEntry], bool]] = None,
+        epoch_below: Optional[int] = None,
+    ) -> int:
+        """Drop matching entries from *both* tiers; returns the count.
+
+        Exactly one selector: a single *fingerprint*, an arbitrary
+        *predicate* over :class:`CacheEntry`, or ``epoch_below=n`` --
+        the mutable-capacity bulk form, dropping every entry whose
+        capacity-epoch tag is ``< n`` while unrelated (current-epoch,
+        untagged-but-current) entries stay warm.  Predicate and epoch
+        selectors scan the disk directory, unpickling each file; the
+        single-fingerprint form unlinks its file directly.  Unreadable
+        disk files are left alone -- a later lookup degrades them to a
+        verified miss through the normal :meth:`load_disk` path.
+        """
+        return self.invalidate_memory(
+            fingerprint, predicate, epoch_below
+        ) + self.invalidate_disk(fingerprint, predicate, epoch_below)
+
+    @staticmethod
+    def _invalidation_predicate(
+        fingerprint: Optional[Fingerprint],
+        predicate: Optional[Callable[[CacheEntry], bool]],
+        epoch_below: Optional[int],
+    ) -> Callable[[CacheEntry], bool]:
+        """The one-selector rule, normalized to an entry predicate."""
+        selectors = [
+            s for s in (fingerprint, predicate, epoch_below) if s is not None
+        ]
+        if len(selectors) != 1:
+            raise ValueError(
+                "pass exactly one of fingerprint=, predicate=, epoch_below="
+            )
+        if fingerprint is not None:
+            return lambda entry: entry.fingerprint == fingerprint.digest
+        if epoch_below is not None:
+            return lambda entry: getattr(entry, "epoch", 0) < epoch_below
+        return predicate
+
+    def invalidate_memory(
+        self,
+        fingerprint: Optional[Fingerprint] = None,
+        predicate: Optional[Callable[[CacheEntry], bool]] = None,
+        epoch_below: Optional[int] = None,
+    ) -> int:
+        """Tier-1 drop only (the part the service holds its lock for)."""
+        match = self._invalidation_predicate(fingerprint, predicate, epoch_below)
+        doomed = [d for d, e in self._entries.items() if match(e)]
+        for digest in doomed:
+            del self._entries[digest]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def invalidate_disk(
+        self,
+        fingerprint: Optional[Fingerprint] = None,
+        predicate: Optional[Callable[[CacheEntry], bool]] = None,
+        epoch_below: Optional[int] = None,
+    ) -> int:
+        """Tier-2 drop only; safe to run outside the caller's lock."""
+        match = self._invalidation_predicate(fingerprint, predicate, epoch_below)
+        if self.disk_dir is None:
+            return 0
+        dropped = 0
+        if fingerprint is not None:
+            try:
+                self._path(fingerprint.digest).unlink()
+                dropped = 1
+            except OSError:
+                pass
+        elif self.disk_dir.is_dir():
+            for path in sorted(self.disk_dir.glob("*.pkl")):
+                try:
+                    with path.open("rb") as fh:
+                        entry = pickle.load(fh)
+                    if not isinstance(entry, CacheEntry) or not match(entry):
+                        continue
+                    path.unlink()
+                except Exception:
+                    continue
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
 
     # ------------------------------------------------------------------
     # Disk tier
@@ -254,17 +450,31 @@ class ResultCache:
         """
         if self.disk_dir is None:
             return False
+        tmp: Optional[Path] = None
         try:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
             path = self._path(entry.fingerprint)
             # Write-then-rename so a crashed writer leaves no half-file
-            # that a later lookup could mistake for an entry.
-            tmp = path.with_suffix(".tmp")
+            # that a later lookup could mistake for an entry.  The temp
+            # name is pid/thread-unique: a *fixed* suffix would let two
+            # concurrent writers of the same fingerprint interleave
+            # writes into one temp file and rename the garble into
+            # place -- each writer must rename only a file it wrote
+            # whole (last rename wins, both renames are complete
+            # entries).
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
             with tmp.open("wb") as fh:
                 pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
             tmp.replace(path)
         except Exception:
             self.stats.disk_write_failures += 1
+            if tmp is not None:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
             return False
         return True
 
@@ -297,6 +507,15 @@ class ResultCache:
                 path, fingerprint,
                 "semantic digest mismatch (stale or corrupted entry)", None,
             )
+        if self._expired(entry):
+            # Ordinary aging, not corruption: unlink and miss without
+            # raising even under strict=True.
+            self.stats.expirations += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
         return entry
 
     def _reject_disk(

@@ -46,6 +46,15 @@ oracle, seed, engine, backend, plan granularity, decomposition -- into
 the key, since each of those can change the semantic artifact.  The
 ``workers`` pool size is deliberately *excluded*: job chunking and the
 ordered merge make the semantic tuple independent of pool sizing.
+
+``capacity_epoch`` is the one knob that is *not* about the solve at
+all: it is a monotonically bumped generation counter for mutable
+serving state (link capacities re-planned, tenant quotas changed).
+Folding it into the key means a bumped epoch simply *misses* -- the
+new-epoch request solves fresh while old-epoch entries age out of the
+LRU or are bulk-dropped via
+:meth:`repro.service.cache.ResultCache.invalidate`\\ ``(epoch_below=)``
+-- the ROADMAP's "TTL/invalidation hooks for mutable capacity".
 """
 from __future__ import annotations
 
@@ -70,7 +79,7 @@ __all__ = [
 #: Version tags baked into every digest, so a change to the canonical
 #: form can never collide with fingerprints minted by an older layout.
 _PROBLEM_TAG = "problem/v1"
-_KNOBS_TAG = "knobs/v1"
+_KNOBS_TAG = "knobs/v2"  # v2: + capacity_epoch
 _SOLVE_TAG = "solve/v1"
 
 
@@ -208,6 +217,11 @@ class SolveKnobs:
     backend: Optional[str] = None
     plan_granularity: Optional[str] = None
     decomposition: str = "ideal"
+    #: Capacity-generation tag (see module docstring): identical
+    #: requests under different epochs key differently, so serving
+    #: state that mutated in bulk can never be answered from a
+    #: previous generation's cache entry.
+    capacity_epoch: int = 0
 
     def validate(self) -> "SolveKnobs":
         """Reject invalid knob names *and combinations* early.
@@ -221,6 +235,10 @@ class SolveKnobs:
         interaction (the service does) keeps rejection deterministic.
         """
         validate_engine_knobs(self.engine, self.backend, self.plan_granularity)
+        if self.capacity_epoch < 0:
+            raise ValueError(
+                f"capacity_epoch must be >= 0, got {self.capacity_epoch}"
+            )
         if self.engine != "parallel":
             for knob, value in (
                 ("workers", self.workers),
@@ -258,6 +276,7 @@ class SolveKnobs:
             backend,
             granularity,
             self.decomposition,
+            int(self.capacity_epoch),
         )
 
 

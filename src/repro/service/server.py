@@ -37,7 +37,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.algorithms.auto import solve_auto
 from repro.algorithms.base import AlgorithmReport
@@ -63,14 +63,15 @@ class ServiceError(RuntimeError):
 class SolveRequest:
     """One unit of service traffic: a problem plus its solve knobs.
 
-    ``label`` is a human-readable handle carried into results and error
-    messages (:meth:`from_workload` fills in ``name@size#seed``); it
-    never participates in the cache key.
+    ``label`` is an optional human-readable handle carried into results
+    and error messages (:meth:`from_workload` fills in
+    ``name@size#seed``; unlabeled requests render as ``<unlabeled>``);
+    it never participates in the cache key.
     """
 
     problem: Problem
     knobs: SolveKnobs = SolveKnobs()
-    label: str = ""
+    label: Optional[str] = None
     #: Memoized cache key (fingerprinting scans the whole problem; a
     #: client replaying a prepared request handle pays it once).
     _fp: Optional[Fingerprint] = field(
@@ -127,7 +128,11 @@ class ServiceResult:
     fingerprint: Fingerprint
     status: str
     latency_s: float
-    label: str = ""
+    #: The submitting request's label, or ``None`` for an unlabeled
+    #: request -- the same optionality as :attr:`SolveRequest.label`
+    #: (coalesced callers see their *own* label here, not the
+    #: primary's).
+    label: Optional[str] = None
 
     @property
     def profit(self) -> float:
@@ -156,6 +161,14 @@ class SchedulingService:
     strict_cache:
         Propagate disk-tier verification failures as errors instead of
         degrading them to misses.
+    ttl:
+        Default time-to-live (seconds) for cached results; ``None``
+        (the default) means results stay valid until evicted or
+        invalidated.  Mutable-capacity deployments set a TTL as the
+        backstop and bump ``SolveKnobs.capacity_epoch`` /
+        call :meth:`invalidate` for prompt bulk expiry.
+    clock:
+        Monotonic clock for TTL deadlines (injectable for tests).
     """
 
     def __init__(
@@ -165,13 +178,16 @@ class SchedulingService:
         workers: Optional[int] = None,
         default_knobs: SolveKnobs = SolveKnobs(),
         strict_cache: bool = False,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.workers = workers if workers is not None else default_workers()
         if self.workers < 1:
             raise ValueError(f"service workers must be positive, got {self.workers}")
         self.default_knobs = default_knobs
         self.cache = ResultCache(
-            capacity=capacity, disk_dir=disk_dir, strict=strict_cache
+            capacity=capacity, disk_dir=disk_dir, strict=strict_cache,
+            ttl=ttl, clock=clock,
         )
         self._lock = threading.Lock()
         self._inflight: Dict[str, Future] = {}
@@ -255,7 +271,10 @@ class SchedulingService:
 
     @staticmethod
     def _resolved(
-        report: AlgorithmReport, fp: Fingerprint, label: str, t0: float
+        report: AlgorithmReport,
+        fp: Fingerprint,
+        label: Optional[str],
+        t0: float,
     ) -> "Future[ServiceResult]":
         """An already-done future for a memory-tier hit."""
         done: "Future[ServiceResult]" = Future()
@@ -272,7 +291,7 @@ class SchedulingService:
 
     @staticmethod
     def _joined(
-        primary: "Future[ServiceResult]", label: str, t0: float
+        primary: "Future[ServiceResult]", label: Optional[str], t0: float
     ) -> "Future[ServiceResult]":
         """A coalesced caller's view of the in-flight solve.
 
@@ -307,7 +326,7 @@ class SchedulingService:
         self,
         problem: Problem,
         knobs: Optional[SolveKnobs] = None,
-        label: str = "",
+        label: Optional[str] = None,
     ) -> "Future[ServiceResult]":
         """Convenience: wrap *problem* with the service's default knobs."""
         return self.submit(
@@ -372,8 +391,12 @@ class SchedulingService:
             # Digest and disk write are the expensive admission steps;
             # run them on this worker thread, outside the lock.  The
             # write is best-effort inside the cache -- a failed persist
-            # degrades to memory-only, it never fails the request.
-            entry = self.cache.make_entry(fp, report)
+            # degrades to memory-only, it never fails the request.  The
+            # entry inherits the request's capacity epoch, so a later
+            # bulk invalidation can find it.
+            entry = self.cache.make_entry(
+                fp, report, epoch=request.knobs.capacity_epoch
+            )
             self.cache.write_disk(entry)
             with self._lock:
                 self._solves += 1
@@ -396,6 +419,49 @@ class SchedulingService:
             # joins the still-registered future or hits the cache.
             with self._lock:
                 self._inflight.pop(fp.digest, None)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(
+        self,
+        fingerprint=None,
+        predicate=None,
+        epoch_below: Optional[int] = None,
+    ) -> int:
+        """Drop cached results from both tiers (see
+        :meth:`~repro.service.cache.ResultCache.invalidate`).
+
+        The usual lock discipline: the memory-tier drop happens under
+        the service lock (so concurrent hits never observe a half-swept
+        tier), while the disk sweep -- a directory scan that unpickles
+        every entry -- runs outside it, exactly like disk reads and
+        writes on the serving path.  A request already in flight when
+        the call lands was solved under the old state and may still
+        admit afterwards; invalidation therefore makes no atomicity
+        promise against in-flight work -- the capacity-epoch
+        fingerprint tag is what keeps *new* traffic from ever reading a
+        stale generation.
+        """
+        with self._lock:
+            dropped = self.cache.invalidate_memory(
+                fingerprint=fingerprint,
+                predicate=predicate,
+                epoch_below=epoch_below,
+            )
+        return dropped + self.cache.invalidate_disk(
+            fingerprint=fingerprint,
+            predicate=predicate,
+            epoch_below=epoch_below,
+        )
+
+    def peek_digest(self, fingerprint) -> Optional[str]:
+        """The recorded admission digest for *fingerprint*, if its entry
+        is resident in memory -- a side-effect-free metadata read (no
+        recency bump, no stats), taken under the service lock."""
+        with self._lock:
+            entry = self.cache.peek_entry(fingerprint)
+            return None if entry is None else entry.digest
 
     # ------------------------------------------------------------------
     # Introspection

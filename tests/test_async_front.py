@@ -1,0 +1,315 @@
+"""The asyncio front door: solve/batch parity, backpressure, the
+JSON-over-TCP endpoint, and graceful drain.
+
+Event-loop plumbing must never change served bits: every result that
+comes back through ``await``/the wire is digest-compared against a
+direct :func:`solve_auto` call.  No ``pytest-asyncio`` dependency --
+each test drives its own loop with ``asyncio.run``.
+"""
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.algorithms import solve_auto
+from repro.core.engines import backends
+from repro.service import (
+    AsyncSchedulingService,
+    ServiceError,
+    SolveRequest,
+    report_semantic_digest,
+)
+from repro.workloads import build_workload
+
+KNOBS = dict(engine="incremental", mis="greedy", epsilon=0.25)
+
+
+def request(name="bursty-lines", size=14, seed=1):
+    return SolveRequest.from_workload(name, size, seed=seed, **KNOBS)
+
+
+def direct_digest(name="bursty-lines", size=14, seed=1):
+    report = solve_auto(
+        build_workload(name, size, seed=seed), **{**KNOBS, "seed": seed}
+    )
+    return report_semantic_digest(report)
+
+
+class TestAsyncSolve:
+    def test_solve_matches_direct_cold_and_cached(self):
+        async def run():
+            front = AsyncSchedulingService(capacity=8, workers=2)
+            cold = await front.solve(request())
+            warm = await front.solve(request())
+            await front.drain()
+            return cold, warm
+
+        cold, warm = asyncio.run(run())
+        expected = direct_digest()
+        assert cold.status == "miss"
+        assert warm.status == "hit"
+        assert report_semantic_digest(cold.report) == expected
+        assert report_semantic_digest(warm.report) == expected
+
+    def test_solve_batch_coalesces_and_orders(self):
+        async def run():
+            front = AsyncSchedulingService(capacity=8, workers=2)
+            reqs = [request(seed=1), request(seed=2), request(seed=1)]
+            results = await front.solve_batch(reqs)
+            stats = front.stats
+            await front.drain()
+            return reqs, results, stats
+
+        reqs, results, stats = asyncio.run(run())
+        assert [r.label for r in results] == [r.label for r in reqs]
+        # Two distinct fingerprints -> exactly two solves; the third
+        # entry coalesced or hit.
+        assert stats["service"]["solves"] == 2
+        assert report_semantic_digest(results[0].report) == report_semantic_digest(
+            results[2].report
+        )
+
+    def test_solve_problem_uses_default_knobs(self):
+        async def run():
+            front = AsyncSchedulingService(capacity=4, workers=2)
+            problem = build_workload("bursty-lines", 14, seed=1)
+            result = await front.solve_problem(problem, label="adhoc")
+            await front.drain()
+            return result
+
+        result = asyncio.run(run())
+        assert result.label == "adhoc"
+        assert result.profit > 0
+
+    def test_failures_stay_attributable(self):
+        async def run():
+            front = AsyncSchedulingService(capacity=4, workers=2)
+            from repro.service import SolveKnobs
+
+            bad = SolveRequest(
+                problem=build_workload("bursty-lines", 14, seed=1),
+                knobs=SolveKnobs(engine="incremental", backend="process"),
+                label="bad-combo",
+            )
+            with pytest.raises(ServiceError, match="bad-combo"):
+                await front.solve(bad)
+            await front.drain()
+
+        asyncio.run(run())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="not both"):
+            AsyncSchedulingService(
+                service=object(), capacity=4  # type: ignore[arg-type]
+            )
+        with pytest.raises(ValueError, match="max_inflight"):
+            AsyncSchedulingService(max_inflight=0)
+
+
+class TestBackpressure:
+    def test_peak_inflight_respects_the_cap(self):
+        cap = 2
+
+        async def run():
+            front = AsyncSchedulingService(
+                capacity=16, workers=2, max_inflight=cap
+            )
+            reqs = [request(size=14 + i) for i in range(6)]  # all cold
+            await asyncio.gather(*(front.solve(r) for r in reqs))
+            stats = front.stats
+            await front.drain()
+            return stats
+
+        stats = asyncio.run(run())
+        assert 1 <= stats["peak_active"] <= cap
+        assert stats["peak_queued"] >= 6 - cap, (
+            "arrivals beyond the cap must be visible as queue depth"
+        )
+        assert stats["served"] == 6
+        assert stats["queued"] == 0 and stats["active"] == 0
+
+    def test_drained_front_rejects_new_requests(self):
+        async def run():
+            front = AsyncSchedulingService(capacity=4, workers=2)
+            await front.solve(request())
+            await front.drain()
+            with pytest.raises(ServiceError, match="draining"):
+                await front.solve(request(seed=9))
+            return front.stats
+
+        stats = asyncio.run(run())
+        assert stats["rejected"] == 1
+
+
+class TestWireProtocol:
+    @staticmethod
+    async def roundtrip(lines, *, front_kwargs=None):
+        """Open a front door + client, send *lines*, return responses."""
+        front = AsyncSchedulingService(
+            capacity=16, workers=2, **(front_kwargs or {})
+        )
+        host, port = await front.serve()
+        reader, writer = await asyncio.open_connection(host, port)
+        for line in lines:
+            payload = line if isinstance(line, bytes) else json.dumps(line).encode()
+            writer.write(payload + b"\n")
+        await writer.drain()
+        responses = [
+            json.loads(await reader.readline()) for _ in range(len(lines))
+        ]
+        writer.close()
+        await writer.wait_closed()
+        await front.drain()
+        return front, responses
+
+    def test_request_roundtrip_matches_direct_solve(self):
+        wire = {
+            "id": 5,
+            "workload": "bursty-lines",
+            "size": 14,
+            "seed": 1,
+            "knobs": KNOBS,
+        }
+        front, responses = asyncio.run(self.roundtrip([wire, wire]))
+        assert all(r["ok"] and r["id"] == 5 for r in responses)
+        # Pipelined duplicates coalesce: one solve ran; callers see the
+        # shared miss, or a hit if they landed after resolution.
+        assert front.stats["service"]["solves"] == 1
+        assert {r["status"] for r in responses} <= {"miss", "hit"}
+        expected = direct_digest()
+        assert all(r["semantic_digest"] == expected for r in responses)
+        assert all(r["label"] == "bursty-lines@14#1" for r in responses)
+
+    def test_pipelined_ids_correlate_out_of_order_responses(self):
+        lines = [
+            {"id": i, "workload": "bursty-lines", "size": 14 + (i % 2),
+             "seed": 1, "knobs": KNOBS}
+            for i in range(6)
+        ]
+        front, responses = asyncio.run(self.roundtrip(lines))
+        assert sorted(r["id"] for r in responses) == list(range(6))
+        assert all(r["ok"] for r in responses)
+
+    def test_malformed_and_invalid_lines_answer_without_killing_conn(self):
+        lines = [
+            b"this is not json",
+            {"id": 1, "op": "stats"},
+            {"id": 2, "workload": "no-such-workload", "size": 8},
+            {"id": 3, "size": 8},  # missing workload
+            {"id": 4, "workload": "bursty-lines", "size": 14, "seed": 1,
+             "knobs": {"bogus_knob": True}},
+            {"id": 5, "workload": "bursty-lines", "size": 14, "seed": 1,
+             "knobs": KNOBS},
+        ]
+        front, responses = asyncio.run(self.roundtrip(lines))
+        by_id = {r.get("id"): r for r in responses}
+        assert not by_id[None]["ok"]  # unparseable line
+        assert by_id[1]["ok"] and "service" in by_id[1]["stats"]
+        assert not by_id[2]["ok"] and "no-such-workload" in by_id[2]["error"]
+        assert not by_id[3]["ok"] and "workload" in by_id[3]["error"]
+        assert not by_id[4]["ok"]
+        assert by_id[5]["ok"], "a valid request after garbage must still serve"
+        assert by_id[5]["semantic_digest"] == direct_digest()
+
+    def test_oversized_line_answers_and_flushes_accepted_work(self):
+        # A line past the stream limit breaks the line discipline, so
+        # the connection ends -- but the already-pipelined valid
+        # request must still get its response, and the offense gets an
+        # ok:false answer instead of a silent hangup.
+        from repro.service.async_front import WIRE_LINE_LIMIT
+
+        async def run():
+            front = AsyncSchedulingService(capacity=8, workers=2)
+            host, port = await front.serve()
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=WIRE_LINE_LIMIT
+            )
+            writer.write(json.dumps({
+                "id": 1, "workload": "bursty-lines", "size": 14,
+                "seed": 1, "knobs": KNOBS,
+            }).encode() + b"\n")
+            writer.write(b"x" * (WIRE_LINE_LIMIT + 1024) + b"\n")
+            await writer.drain()
+            responses = []
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                responses.append(json.loads(line))
+            writer.close()
+            await writer.wait_closed()
+            await front.drain()
+            return responses
+
+        responses = asyncio.run(run())
+        by_id = {r.get("id"): r for r in responses}
+        assert by_id[1]["ok"], "accepted request must be answered"
+        assert by_id[1]["semantic_digest"] == direct_digest()
+        assert not by_id[None]["ok"] and "exceeds" in by_id[None]["error"]
+
+    def test_serve_twice_rejected(self):
+        async def run():
+            front = AsyncSchedulingService(capacity=4, workers=2)
+            await front.serve()
+            with pytest.raises(RuntimeError, match="already"):
+                await front.serve()
+            await front.drain()
+
+        asyncio.run(run())
+
+
+class TestGracefulDrain:
+    def test_aclose_leaves_zero_live_executors(self):
+        async def run():
+            async with AsyncSchedulingService(capacity=8, workers=2) as front:
+                host, port = await front.serve()
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(json.dumps({
+                    "id": 0, "workload": "bursty-lines", "size": 14,
+                    "seed": 1, "knobs": KNOBS,
+                }).encode() + b"\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"]
+                writer.close()
+                await writer.wait_closed()
+            # __aexit__ ran aclose(): drained + pools torn down.
+
+        asyncio.run(run())
+        assert not backends._THREAD_POOLS
+        assert not backends._PROCESS_POOLS
+        assert not backends._SERVICE_POOLS
+        assert not any(
+            t.name.startswith(("repro-service", "repro-epoch", "repro-admission"))
+            for t in threading.enumerate()
+        ), "a closed front door must leave no live pool threads"
+
+    def test_inflight_requests_resolve_through_drain(self):
+        async def run():
+            front = AsyncSchedulingService(capacity=8, workers=2)
+            # Launch cold work, then drain while it is in flight: the
+            # drain must wait for resolution, not cancel it.
+            tasks = [
+                asyncio.ensure_future(front.solve(request(size=14 + i)))
+                for i in range(3)
+            ]
+            await asyncio.sleep(0)  # let the tasks reach admission
+            await front.drain()
+            results = [await t for t in tasks]
+            assert all(r.report.profit >= 0 for r in results)
+            return front.stats
+
+        stats = asyncio.run(run())
+        assert stats["served"] == 3
+        assert stats["draining"]
+
+    def test_drain_is_idempotent(self):
+        async def run():
+            front = AsyncSchedulingService(capacity=4, workers=2)
+            await front.solve(request())
+            await front.drain()
+            await front.drain()
+            await front.aclose()
+
+        asyncio.run(run())

@@ -208,3 +208,125 @@ class TestBackendKnob:
         assert executor.workers == 1
         with pytest.raises(ValueError, match="serial"):
             ParallelEpochExecutor(workers=4, backend="serial")
+
+
+class TestExecutorLifecycle:
+    """The warm-pool registries must never leak executors: setdefault
+    losers are shut down, broken process pools are shut down on
+    eviction, and ``shutdown_pools()`` tears every family down."""
+
+    def test_warm_pool_race_shuts_down_losers(self):
+        # Hammer _warm_pool from many threads racing on one empty key;
+        # exactly one constructed executor may survive in the registry,
+        # and every loser must have been shut down (not orphaned with
+        # live idle threads).
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.core.engines.backends import _warm_pool
+
+        n_threads = 16
+        rounds = 25
+        constructed = []
+        lock = threading.Lock()
+
+        def factory():
+            pool = ThreadPoolExecutor(max_workers=1)
+            with lock:
+                constructed.append(pool)
+            return pool
+
+        for _ in range(rounds):
+            pools = {}
+            barrier = threading.Barrier(n_threads)
+            winners = []
+
+            def hammer():
+                barrier.wait()
+                winners.append(_warm_pool(pools, 2, factory))
+
+            threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(pools) == 1
+            assert all(w is pools[2] for w in winners), (
+                "every racer must receive the one registered pool"
+            )
+            for pool in constructed:
+                if pool is not pools[2]:
+                    assert pool._shutdown, "losing executor leaked un-shutdown"
+            pools[2].shutdown(wait=True)
+            constructed.clear()
+
+    def test_shutdown_pools_empties_every_family(self):
+        from repro.core.engines import backends
+
+        # Warm one pool in each family, then tear down.
+        backends._shared_thread_pool(2)
+        backends.shared_service_pool(2)
+        backends._shared_process_pool(2)
+        assert backends._THREAD_POOLS and backends._SERVICE_POOLS
+        assert backends._PROCESS_POOLS
+        count = backends.shutdown_pools(wait=True)
+        assert count >= 3
+        assert not backends._THREAD_POOLS
+        assert not backends._PROCESS_POOLS
+        assert not backends._SERVICE_POOLS
+        # Teardown is not terminal: the next fetch re-warms on demand.
+        pool = backends._shared_thread_pool(2)
+        fut = pool.submit(lambda: 41 + 1)
+        assert fut.result() == 42
+        assert backends.shutdown_pools(wait=True) == 1
+
+    def test_no_live_pool_threads_after_shutdown(self):
+        import threading
+
+        from repro.core.engines import backends
+
+        pool = backends.shared_service_pool(3)
+        pool.submit(lambda: None).result()  # force a worker to spawn
+        assert any(
+            t.name.startswith("repro-service") for t in threading.enumerate()
+        )
+        backends.shutdown_pools(wait=True)
+        assert not any(
+            t.name.startswith("repro-service") for t in threading.enumerate()
+        ), "shutdown_pools(wait=True) must join every pool thread"
+
+    def test_broken_process_pool_eviction_shuts_pool_down(self):
+        # A BrokenProcessPool must evict the poisoned executor from the
+        # warm registry *and* shut it down -- popping without shutdown
+        # leaks its management thread and dead workers.  Simulated with
+        # a stub pool so the test is deterministic and fast.
+        from concurrent.futures.process import BrokenProcessPool
+
+        import pytest
+
+        from repro.core.engines import backends
+
+        class StubBrokenPool:
+            def __init__(self):
+                self.shutdown_calls = []
+
+            def submit(self, fn, *args):
+                raise BrokenProcessPool("worker died abruptly")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                self.shutdown_calls.append((wait, cancel_futures))
+
+        workers = 7919  # a key no real solve uses
+        stub = StubBrokenPool()
+        backends._PROCESS_POOLS[workers] = stub
+        backend = backends.ProcessBackend(workers)
+        backend._prepare = lambda jobs: jobs  # dummy jobs: skip slicing
+        try:
+            with pytest.raises(BrokenProcessPool):
+                backend.run_wave([object(), object()])
+            assert workers not in backends._PROCESS_POOLS, (
+                "broken pool must be evicted from the warm registry"
+            )
+            assert stub.shutdown_calls, "evicted broken pool must be shut down"
+        finally:
+            backends._PROCESS_POOLS.pop(workers, None)

@@ -1,0 +1,278 @@
+"""TTL and invalidation semantics of the two-tier result cache.
+
+The contract under test: an entry past its TTL deadline -- or dropped
+by an explicit ``invalidate()`` call -- is *never served from either
+tier*; expiry is driven by an injectable monotonic clock; and bulk
+capacity-epoch invalidation drops exactly the stale generation while
+unrelated entries stay warm.  A hypothesis sweep drives a random
+interleaving of puts, clock advances, epoch bumps and lookups and
+asserts the never-serve-stale invariant over every trajectory.
+"""
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import stable_digest
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.fingerprint import Fingerprint, SolveKnobs, solve_fingerprint
+from repro.workloads import build_workload
+
+
+def fp(tag: str) -> Fingerprint:
+    return Fingerprint(stable_digest(tag))
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def ttl_cache(clock, **kwargs) -> ResultCache:
+    kwargs.setdefault("digest_fn", stable_digest)
+    return ResultCache(clock=clock, **kwargs)
+
+
+class TestMemoryTierTTL:
+    def test_entry_served_before_deadline_dropped_after(self):
+        clock = FakeClock()
+        cache = ttl_cache(clock, capacity=4, ttl=10.0)
+        cache.put(fp("a"), "A")
+        clock.advance(9.999)
+        assert cache.get(fp("a")) == "A"
+        clock.advance(0.001)  # exactly at the deadline: expired
+        assert cache.get(fp("a")) is None
+        assert cache.stats.expirations == 1
+        assert fp("a") not in cache
+
+    def test_per_entry_ttl_overrides_cache_default(self):
+        clock = FakeClock()
+        cache = ttl_cache(clock, capacity=4, ttl=10.0)
+        cache.put(fp("short"), "S", ttl=1.0)
+        cache.put(fp("forever"), "F", ttl=None)  # explicit: never expires
+        cache.put(fp("default"), "D")
+        clock.advance(5.0)
+        assert cache.get(fp("short")) is None
+        assert cache.get(fp("default")) == "D"
+        clock.advance(1e9)
+        assert cache.get(fp("forever")) == "F"
+
+    def test_no_ttl_means_no_expiry(self):
+        clock = FakeClock()
+        cache = ttl_cache(clock, capacity=4)
+        cache.put(fp("a"), "A")
+        clock.advance(1e12)
+        assert cache.get(fp("a")) == "A"
+        assert cache.stats.expirations == 0
+
+    def test_ttl_validated(self):
+        with pytest.raises(ValueError, match="ttl"):
+            ttl_cache(FakeClock(), ttl=0)
+
+
+class TestDiskTierTTL:
+    def test_disk_entry_expires_and_unlinks(self, tmp_path):
+        clock = FakeClock()
+        cache = ttl_cache(clock, capacity=1, disk_dir=str(tmp_path), ttl=10.0)
+        cache.put(fp("a"), "A")
+        cache.put(fp("b"), "B")  # evicts a from memory; disk copy remains
+        clock.advance(11.0)
+        assert cache.get(fp("a")) is None
+        assert cache.stats.expirations == 1
+        assert not cache._path(fp("a").digest).exists(), (
+            "an expired disk entry must be unlinked, not kept"
+        )
+
+    def test_restart_shares_deadline_through_clock(self, tmp_path):
+        # Deadlines are absolute on the injected clock: a second cache
+        # constructed over the same directory and clock domain sees the
+        # same expiry instant.
+        clock = FakeClock()
+        first = ttl_cache(clock, capacity=4, disk_dir=str(tmp_path), ttl=10.0)
+        first.put(fp("a"), "A")
+        second = ttl_cache(clock, capacity=4, disk_dir=str(tmp_path), ttl=10.0)
+        clock.advance(5.0)
+        assert second.get(fp("a")) == "A"
+        clock.advance(6.0)
+        third = ttl_cache(clock, capacity=4, disk_dir=str(tmp_path), ttl=10.0)
+        assert third.get(fp("a")) is None
+
+    def test_expiry_is_not_an_integrity_failure(self, tmp_path):
+        # Aging out is ordinary, even under strict=True: no raise, no
+        # verify_failure -- a separate expirations counter.
+        clock = FakeClock()
+        cache = ttl_cache(
+            clock, capacity=1, disk_dir=str(tmp_path), ttl=5.0, strict=True
+        )
+        cache.put(fp("a"), "A")
+        cache.put(fp("b"), "B")
+        clock.advance(6.0)
+        assert cache.get(fp("a")) is None
+        assert cache.stats.verify_failures == 0
+        assert cache.stats.expirations == 1
+
+    def test_pre_ttl_entry_counts_as_never_expiring(self, tmp_path):
+        # Disk files written before the TTL fields existed unpickle
+        # without them; they must load as never-expiring, not crash.
+        clock = FakeClock()
+        cache = ttl_cache(clock, capacity=4, disk_dir=str(tmp_path), ttl=1.0)
+        cache.put(fp("old"), "O")
+        path = cache._path(fp("old").digest)
+        import pickle
+
+        entry = pickle.loads(path.read_bytes())
+        del entry.__dict__["expires_at"]
+        del entry.__dict__["epoch"]
+        path.write_bytes(pickle.dumps(entry))
+        clock.advance(100.0)
+        fresh = ttl_cache(clock, capacity=4, disk_dir=str(tmp_path), ttl=1.0)
+        assert fresh.get(fp("old")) == "O"
+
+
+class TestInvalidate:
+    def test_by_fingerprint_covers_both_tiers(self, tmp_path):
+        cache = ttl_cache(FakeClock(), capacity=4, disk_dir=str(tmp_path))
+        cache.put(fp("a"), "A")
+        cache.put(fp("b"), "B")
+        assert cache.invalidate(fingerprint=fp("a")) == 2  # memory + disk
+        assert cache.get(fp("a")) is None
+        assert cache.get(fp("b")) == "B"
+        assert cache.stats.invalidations == 2
+
+    def test_by_predicate_covers_both_tiers(self, tmp_path):
+        cache = ttl_cache(FakeClock(), capacity=1, disk_dir=str(tmp_path))
+        cache.put(fp("a"), "stale")
+        cache.put(fp("b"), "fresh")  # evicts a to disk-only
+        dropped = cache.invalidate(predicate=lambda e: e.value == "stale")
+        assert dropped == 1
+        assert cache.get(fp("a")) is None
+        assert cache.get(fp("b")) == "fresh"
+
+    def test_by_epoch_below_leaves_current_generation_warm(self, tmp_path):
+        cache = ttl_cache(FakeClock(), capacity=8, disk_dir=str(tmp_path))
+        for i, tag in enumerate(("e0", "e0b", "e1", "e2")):
+            cache.put(fp(tag), tag.upper(), epoch=int(tag[1]))
+        dropped = cache.invalidate(epoch_below=1)
+        assert dropped == 4  # two epoch-0 entries, each in both tiers
+        assert cache.get(fp("e0")) is None
+        assert cache.get(fp("e0b")) is None
+        assert cache.get(fp("e1")) == "E1"
+        assert cache.get(fp("e2")) == "E2"
+        # Unrelated entries stayed warm in *memory* (tier-1 hits).
+        assert cache.stats.hits >= 2
+
+    def test_exactly_one_selector_required(self):
+        cache = ttl_cache(FakeClock(), capacity=4)
+        with pytest.raises(ValueError, match="exactly one"):
+            cache.invalidate()
+        with pytest.raises(ValueError, match="exactly one"):
+            cache.invalidate(fingerprint=fp("a"), epoch_below=1)
+
+    def test_missing_fingerprint_is_a_zero_drop(self, tmp_path):
+        cache = ttl_cache(FakeClock(), capacity=4, disk_dir=str(tmp_path))
+        assert cache.invalidate(fingerprint=fp("ghost")) == 0
+        assert cache.stats.invalidations == 0
+
+
+class TestCapacityEpochKnob:
+    def test_epoch_changes_the_fingerprint(self):
+        problem = build_workload("bursty-lines", 12, seed=1)
+        base = SolveKnobs(mis="greedy", epsilon=0.25)
+        bumped = SolveKnobs(mis="greedy", epsilon=0.25, capacity_epoch=1)
+        assert (
+            solve_fingerprint(problem, base).digest
+            != solve_fingerprint(problem, bumped).digest
+        ), "a bumped capacity epoch must key differently"
+        again = SolveKnobs(mis="greedy", epsilon=0.25, capacity_epoch=1)
+        assert (
+            solve_fingerprint(problem, bumped).digest
+            == solve_fingerprint(problem, again).digest
+        )
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError, match="capacity_epoch"):
+            SolveKnobs(capacity_epoch=-1).validate()
+
+
+class TestNeverServesStaleHypothesis:
+    """Random trajectories of puts / clock advances / epoch bumps /
+    invalidations: a lookup must never return a value whose TTL has
+    passed or whose capacity epoch predates the last bulk
+    invalidation."""
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("put"),
+                    st.integers(min_value=0, max_value=7),   # key
+                    st.one_of(
+                        st.none(),
+                        st.floats(min_value=0.5, max_value=20.0),
+                    ),                                        # ttl
+                ),
+                st.tuples(st.just("advance"),
+                          st.floats(min_value=0.1, max_value=30.0)),
+                st.tuples(st.just("bump_epoch")),
+                st.tuples(st.just("get"),
+                          st.integers(min_value=0, max_value=7)),
+            ),
+            min_size=5,
+            max_size=60,
+        ),
+        use_disk=st.booleans(),
+    )
+    def test_expiry_never_serves_a_stale_capacity_epoch(
+        self, tmp_path_factory, ops, use_disk
+    ):
+        clock = FakeClock()
+        disk = (
+            str(tmp_path_factory.mktemp("ttl-hypo")) if use_disk else None
+        )
+        cache = ttl_cache(clock, capacity=4, disk_dir=disk)
+        epoch = 0
+        # key -> (value, deadline or None, epoch written under)
+        written = {}
+        for op in ops:
+            if op[0] == "put":
+                _, key, ttl = op
+                value = (key, epoch, clock.now)
+                cache.put(fp(f"k{key}"), value, ttl=ttl, epoch=epoch)
+                deadline = None if ttl is None else clock.now + ttl
+                written[key] = (value, deadline, epoch)
+            elif op[0] == "advance":
+                clock.advance(op[1])
+            elif op[0] == "bump_epoch":
+                epoch += 1
+                cache.invalidate(epoch_below=epoch)
+                written = {
+                    k: v for k, v in written.items() if v[2] >= epoch
+                }
+            else:
+                _, key = op
+                served = cache.get(fp(f"k{key}"))
+                if served is not None:
+                    assert key in written, (
+                        f"served a value for k{key} after its epoch was "
+                        "invalidated"
+                    )
+                    value, deadline, written_epoch = written[key]
+                    assert served == value
+                    assert written_epoch == epoch, (
+                        "served a value from a stale capacity epoch"
+                    )
+                    assert deadline is None or clock.now < deadline, (
+                        "served a value past its TTL deadline"
+                    )

@@ -345,3 +345,72 @@ class TestPersistence:
     def test_validation(self):
         with pytest.raises(ValueError, match="workers"):
             SchedulingService(workers=0)
+
+
+class TestOptionalLabels:
+    def test_unlabeled_request_serves_with_none_label(self):
+        # SolveRequest.label and ServiceResult.label are Optional[str]:
+        # an unlabeled request is a first-class citizen, carried as
+        # None end to end (not coerced to "").
+        service = SchedulingService(workers=2)
+        request = SolveRequest(
+            problem=build_workload("bursty-lines", 14, seed=1),
+            knobs=SolveKnobs(mis="greedy", epsilon=0.25),
+        )
+        assert request.label is None
+        result = service.solve(request)
+        assert result.label is None
+        again = service.solve(request)  # hit path preserves optionality
+        assert again.label is None
+
+    def test_unlabeled_failure_renders_as_unlabeled(self):
+        service = SchedulingService(workers=2)
+        request = SolveRequest(
+            problem=build_workload("bursty-lines", 14, seed=1),
+            knobs=SolveKnobs(mis="nonsense-oracle"),
+        )
+        with pytest.raises(ServiceError, match="<unlabeled>"):
+            service.solve(request)
+
+
+class TestServiceTTLAndInvalidation:
+    def test_expired_entry_resolves_fresh_not_stale(self, tmp_path):
+        clock_now = [1000.0]
+        service = SchedulingService(
+            workers=2, disk_dir=str(tmp_path), ttl=30.0,
+            clock=lambda: clock_now[0],
+        )
+        request = make_request("bursty-lines", 14)
+        first = service.solve(request)
+        assert first.status == "miss"
+        assert service.solve(request).status == "hit"
+        clock_now[0] += 31.0  # past the deadline: both tiers expire
+        refreshed = service.solve(request)
+        assert refreshed.status == "miss"
+        assert service.stats["solves"] == 2
+        assert service.cache.stats.expirations >= 1
+        assert report_semantic_digest(refreshed.report) == (
+            report_semantic_digest(first.report)
+        ), "a re-solve of an unchanged problem must reproduce the result"
+
+    def test_capacity_epoch_bump_misses_and_bulk_invalidates(self, tmp_path):
+        service = SchedulingService(workers=2, disk_dir=str(tmp_path))
+        old = make_request("bursty-lines", 14, capacity_epoch=0)
+        unrelated = make_request("multi-tenant-forest", 16, capacity_epoch=1)
+        assert service.solve(old).status == "miss"
+        assert service.solve(unrelated).status == "miss"
+        # The bumped epoch keys differently: never served from epoch 0.
+        bumped = SolveRequest(
+            problem=old.problem,
+            knobs=replace(old.knobs, capacity_epoch=1),
+            label="epoch-1",
+        )
+        assert bumped.fingerprint().digest != old.fingerprint().digest
+        assert service.solve(bumped).status == "miss"
+        # Bulk-dropping the stale generation leaves current-epoch
+        # entries warm in both tiers.
+        dropped = service.invalidate(epoch_below=1)
+        assert dropped == 2  # old entry, memory + disk
+        assert service.solve(unrelated).status == "hit"
+        assert service.solve(bumped).status == "hit"
+        assert service.solve(old).status == "miss"  # re-solves from scratch

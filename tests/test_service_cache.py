@@ -199,3 +199,48 @@ class TestReportDigest:
         assert fresh.stats.verify_failures == 0
         assert report_semantic_digest(loaded) == report_semantic_digest(report)
         assert loaded.result.semantic_tuple() == report.result.semantic_tuple()
+
+
+class TestConcurrentDiskWriters:
+    def test_interleaved_writers_never_leave_a_corrupt_file(self, tmp_path):
+        # Two processes (here: threads, same race surface) persisting
+        # the same fingerprint concurrently.  With a fixed ".tmp" name
+        # both writers stream into one temp file and a rename can
+        # publish the interleaved garble; with pid/thread-unique temp
+        # names every rename publishes a file one writer wrote whole,
+        # so the survivor always digest-verifies.
+        import threading
+
+        from repro.core.canonical import stable_digest
+
+        key = fp("contended")
+        caches = [
+            ResultCache(digest_fn=stable_digest, disk_dir=str(tmp_path))
+            for _ in range(2)
+        ]
+        rounds = 60
+        barrier = threading.Barrier(2)
+
+        def writer(cache, tag):
+            for i in range(rounds):
+                barrier.wait()
+                # Distinct sizable payloads so interleaving is visible.
+                entry = cache.make_entry(key, (tag, i, "x" * 4096))
+                assert cache.write_disk(entry)
+
+        threads = [
+            threading.Thread(target=writer, args=(cache, tag))
+            for tag, cache in enumerate(caches)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for cache in caches:
+            assert cache.stats.disk_write_failures == 0
+        reader = ResultCache(digest_fn=stable_digest, disk_dir=str(tmp_path))
+        survivor = reader.load_disk(key)
+        assert survivor is not None, "the surviving file must verify"
+        assert reader.stats.verify_failures == 0
+        assert survivor.value[0] in (0, 1) and survivor.value[1] == rounds - 1
+        assert not list(tmp_path.glob("*.tmp")), "no temp files left behind"
