@@ -19,6 +19,7 @@ from repro.core.framework import (
     validate_engine as _validate_engine,
     validate_plan_granularity as _validate_plan_granularity,
 )
+from repro.core.engines.journal import active_journal
 from repro.core.problem import Problem
 from repro.core.solution import Solution
 from repro.lines.layered import layered_by_length
@@ -115,7 +116,17 @@ def tree_layouts(
     problem: Problem, decomposition: str = "ideal"
 ) -> Tuple[InstanceLayout, Dict[int, TreeDecomposition]]:
     """Build per-network tree decompositions and merge their layered
-    decompositions into one :class:`InstanceLayout` (Lemma 4.3)."""
+    decompositions into one :class:`InstanceLayout` (Lemma 4.3).
+
+    When a first-phase journal is active (the delta-solve path), the
+    per-network work is served from the journal's layout cache where
+    the inputs match: a tree decomposition is a pure function of the
+    network, and a layered decomposition of (decomposition, instance
+    expansion), so the cache keys embed exactly that content and a
+    reused object is value-identical to a rebuild.  This -- not the
+    epoch replay -- is the bulk of a warm start's latency win: churn
+    mutates demands far more often than networks.
+    """
     try:
         builder = DECOMPOSITION_BUILDERS[decomposition]
     except KeyError:
@@ -123,6 +134,7 @@ def tree_layouts(
             f"unknown decomposition {decomposition!r}; "
             f"choose from {sorted(DECOMPOSITION_BUILDERS)}"
         )
+    journal = active_journal()
     decomps: Dict[int, TreeDecomposition] = {}
     layered: List[LayeredDecomposition] = []
     by_net = problem.instances_by_network
@@ -130,9 +142,23 @@ def tree_layouts(
         instances = by_net.get(nid, ())
         if not instances:
             continue
-        td = builder(problem.networks[nid])
+        net = problem.networks[nid]
+        td = ld = None
+        if journal is not None:
+            dkey = (nid, decomposition, net.vertices, tuple(sorted(net.edges())))
+            lkey = dkey + (instances,)
+            td = journal.lookup_decomp(dkey)
+            ld = journal.lookup_layered(lkey)
+        if ld is not None:
+            journal.layouts_reused += 1
+        if td is None:
+            td = builder(net)
+        if ld is None:
+            ld = layered_from_tree_decomposition(td, instances)
+        if journal is not None:
+            journal.record_layouts(dkey, td, lkey, ld)
         decomps[nid] = td
-        layered.append(layered_from_tree_decomposition(td, instances))
+        layered.append(ld)
     return InstanceLayout.from_layered(layered), decomps
 
 

@@ -32,6 +32,17 @@ from repro.core.engines.incremental import (
     run_epoch_incremental,
     run_first_phase_incremental,
 )
+from repro.core.engines.journal import (
+    EpochRecord,
+    FirstPhaseJournal,
+    PhaseLog,
+    SolveJournal,
+    active_journal,
+    epoch_signature,
+    journal_context,
+    phase_config,
+    predict_dirty_epochs,
+)
 from repro.core.engines.parallel import (
     ParallelEpochExecutor,
     run_first_phase_parallel,
@@ -44,13 +55,22 @@ __all__ = [
     "EpochExecutorBackend",
     "EpochJob",
     "EpochOutcome",
+    "EpochRecord",
     "FirstPhaseArtifacts",
+    "FirstPhaseJournal",
     "InstanceLayout",
     "ParallelEpochExecutor",
     "PhaseCounters",
+    "PhaseLog",
+    "SolveJournal",
+    "active_journal",
     "default_workers",
+    "epoch_signature",
     "group_members",
+    "journal_context",
     "make_backend",
+    "phase_config",
+    "predict_dirty_epochs",
     "resolve_backend",
     "run_epoch_incremental",
     "run_epoch_job",

@@ -13,7 +13,8 @@ batches and counter increments.
 """
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.demand import DemandInstance
 from repro.core.dual import DualState, RaiseEvent, RaiseRule
@@ -23,6 +24,13 @@ from repro.core.engines.artifacts import (
     PhaseCounters,
     group_members,
     stall_error,
+)
+from repro.core.engines.journal import (
+    EpochRecord,
+    FirstPhaseJournal,
+    active_journal,
+    epoch_signature,
+    phase_config,
 )
 from repro.core.types import InstanceId
 from repro.distributed.conflict import (
@@ -137,7 +145,7 @@ def run_first_phase_incremental(
     raise_rule: RaiseRule,
     thresholds: Sequence[float],
     mis_oracle: MISOracle,
-    conflict_adj: ConflictAdjacency,
+    conflict_adj: Optional[ConflictAdjacency],
 ) -> FirstPhaseArtifacts:
     """Dirty-set engine: same semantics, incremental satisfaction state.
 
@@ -155,7 +163,26 @@ def run_first_phase_incremental(
     active-set adjacency view that shrinks in place as instances
     satisfy, replacing the reference engine's per-step full rescan and
     ``restrict()`` rebuild.
+
+    When a :class:`~repro.core.engines.journal.FirstPhaseJournal` is
+    installed (:func:`~repro.core.engines.journal.journal_context`),
+    execution delegates to :func:`_run_first_phase_journaled`, which
+    records per-epoch inputs/outputs and replays signature-certified
+    epochs from the journal's ancestor instead of re-running them; the
+    prebuilt global *conflict_adj* is ignored there (``None`` is
+    accepted) because the journaled runner slices per-epoch adjacency
+    from an :class:`~repro.core.plan.EpochPlan`.
     """
+    journal = active_journal()
+    if journal is not None:
+        return _run_first_phase_journaled(
+            instances, layout, raise_rule, thresholds, mis_oracle, journal
+        )
+    if conflict_adj is None:
+        raise ValueError(
+            "run_first_phase_incremental needs conflict_adj unless a "
+            "first-phase journal is active"
+        )
     dual = DualState(use_height_rule=raise_rule.use_height_rule)
     by_id = {d.instance_id: d for d in instances}
     index = build_instance_index(instances)
@@ -173,4 +200,122 @@ def run_first_phase_incremental(
             epoch, members, by_id, dual, index, conflict_adj, layout,
             raise_rule, thresholds, mis_oracle, events, stack, counters, order,
         )
+    return dual, stack, events, counters
+
+
+def _fold_counters(total: PhaseCounters, part: PhaseCounters) -> None:
+    """Fold one epoch's counters into the phase total (the same merge
+    discipline the parallel engine applies to per-epoch jobs; ``epochs``
+    is accounted by the caller's loop, phase-2 and parallel fields stay
+    untouched)."""
+    total.stages += part.stages
+    total.steps += part.steps
+    total.raises += part.raises
+    total.mis_rounds += part.mis_rounds
+    total.satisfaction_checks += part.satisfaction_checks
+    total.adjacency_touches += part.adjacency_touches
+    total.max_steps_per_stage = max(
+        total.max_steps_per_stage, part.max_steps_per_stage
+    )
+
+
+def _replay_epoch(
+    record: EpochRecord,
+    dual: DualState,
+    raise_rule: RaiseRule,
+    events: List[RaiseEvent],
+    stack: List[List[DemandInstance]],
+    order: int,
+) -> int:
+    """Re-apply a recorded epoch's writes to *dual*; returns next order.
+
+    Mirrors :meth:`RaiseRule.apply` write-for-write: ``delta == 0.0``
+    is exactly apply's no-write early return (``slack <= EPS``), since
+    a positive slack over these rules' positive denominators cannot
+    round to zero; otherwise alpha moves by the recorded delta and each
+    critical edge by the rule's ``beta_increment`` -- a pure function
+    of (delta, n_crit), so recomputing it reproduces the recorded run's
+    float bit-for-bit.  Only the ``order`` field can differ from the
+    recording (earlier epochs may have replayed a different event
+    count), so events are re-stamped when needed and shared otherwise.
+    """
+    alpha, beta = dual.alpha, dual.beta
+    for ev in record.events:
+        if ev.delta != 0.0:
+            if raise_rule.use_alpha:
+                a = ev.instance.demand_id
+                alpha[a] = alpha.get(a, 0.0) + ev.delta
+            inc = raise_rule.beta_increment(ev.delta, len(ev.critical_edges))
+            for e in ev.critical_edges:
+                beta[e] = beta.get(e, 0.0) + inc
+        events.append(ev if ev.order == order else replace(ev, order=order))
+        order += 1
+    for batch in record.stack:
+        stack.append(list(batch))
+    return order
+
+
+def _run_first_phase_journaled(
+    instances: Sequence[DemandInstance],
+    layout: InstanceLayout,
+    raise_rule: RaiseRule,
+    thresholds: Sequence[float],
+    mis_oracle: MISOracle,
+    journal: FirstPhaseJournal,
+) -> FirstPhaseArtifacts:
+    """The journaled dirty-set run: record every epoch, replay certified ones.
+
+    Uses :meth:`EpochPlan.build`'s per-epoch adjacency and reverse
+    indices instead of the global conflict graph (cross-epoch conflict
+    pairs are never consulted by the epoch loop, and skipping them is
+    most of the delta path's latency win).  Each non-empty epoch is
+    signature-checked against the journal's ancestor: a match replays
+    the recorded events onto the master dual, anything else re-runs
+    through :func:`run_epoch_incremental` on the plan slice.  Both
+    outcomes append an :class:`EpochRecord` to the fresh journal, so
+    every delta solve yields a complete journal for the *next* one.
+    """
+    from repro.core.plan import EpochPlan
+
+    dual = DualState(use_height_rule=raise_rule.use_height_rule)
+    by_id = {d.instance_id: d for d in instances}
+    plan = EpochPlan.build(instances, layout)
+    config = phase_config(layout, raise_rule, thresholds, mis_oracle)
+    past, log, predicted = journal.begin_phase(config, plan)
+    events: List[RaiseEvent] = []
+    stack: List[List[DemandInstance]] = []
+    counters = PhaseCounters()
+    order = 0
+    for epoch in range(1, layout.n_epochs + 1):
+        members = plan.members.get(epoch, [])
+        counters.epochs += 1
+        if not members:
+            continue
+        signature = epoch_signature(members, dual, layout)
+        record = past.records.get(epoch) if past is not None else None
+        if record is not None and record.signature == signature:
+            order = _replay_epoch(
+                record, dual, raise_rule, events, stack, order
+            )
+            _fold_counters(counters, record.counters)
+            log.records[epoch] = record
+            journal.epochs_replayed += 1
+            continue
+        if past is not None and epoch not in predicted:
+            journal.prediction_misses += 1
+        part = PhaseCounters()
+        start_ev, start_st = len(events), len(stack)
+        order = run_epoch_incremental(
+            epoch, members, by_id, dual, plan.index[epoch],
+            plan.adjacency[epoch], layout, raise_rule, thresholds,
+            mis_oracle, events, stack, part, order,
+        )
+        _fold_counters(counters, part)
+        log.records[epoch] = EpochRecord(
+            signature=signature,
+            events=tuple(events[start_ev:]),
+            stack=tuple(tuple(b) for b in stack[start_st:]),
+            counters=part,
+        )
+        journal.epochs_rerun += 1
     return dual, stack, events, counters

@@ -88,6 +88,7 @@ from repro.core.engines import (
     run_first_phase_reference,
 )
 from repro.core.engines import validate_backend as _validate_backend_name
+from repro.core.engines.journal import active_journal
 from repro.core.plan import GRANULARITIES
 from repro.core.plan import validate_granularity as _validate_granularity_name
 from repro.core.result import TwoPhaseResult
@@ -216,7 +217,12 @@ def run_first_phase(
             raise ValueError(
                 f"{knob}= applies only to engine='parallel', not {engine!r}"
             )
-    if conflict_adj is None:
+    if conflict_adj is None and not (
+        engine == "incremental" and active_journal() is not None
+    ):
+        # The journaled incremental runner slices per-epoch adjacency
+        # from an EpochPlan, so the global conflict graph (with its
+        # never-consulted cross-epoch pairs) would be wasted work there.
         conflict_adj = build_conflict_graph(instances)
     impl = {
         "reference": run_first_phase_reference,

@@ -6,8 +6,9 @@ two-tier verified result cache with TTL/invalidation
 (:mod:`repro.service.cache`), a coalescing, batching
 :class:`SchedulingService` (:mod:`repro.service.server`), and an
 asyncio front door with a JSON-over-TCP endpoint
-(:mod:`repro.service.async_front`).  See the "Serving" section of
-README.md.
+(:mod:`repro.service.async_front`), and the delta-solve ingredients --
+sketches, problem diffs, change-storm debouncing
+(:mod:`repro.service.delta`).  See the "Serving" section of README.md.
 """
 from repro.service.async_front import AsyncSchedulingService
 from repro.service.cache import (
@@ -16,6 +17,17 @@ from repro.service.cache import (
     CacheStats,
     ResultCache,
     report_semantic_digest,
+)
+from repro.service.delta import (
+    DELTA_OUTCOMES,
+    TOO_DIRTY_FRACTION,
+    ChangeDebouncer,
+    DeltaArtifacts,
+    DeltaStats,
+    ProblemDelta,
+    delta_key,
+    diff_problems,
+    problem_sketch,
 )
 from repro.service.fingerprint import (
     Fingerprint,
@@ -36,13 +48,21 @@ __all__ = [
     "CacheEntry",
     "CacheIntegrityError",
     "CacheStats",
+    "ChangeDebouncer",
+    "DELTA_OUTCOMES",
+    "DeltaArtifacts",
+    "DeltaStats",
     "Fingerprint",
+    "ProblemDelta",
     "ResultCache",
     "SchedulingService",
     "ServiceError",
     "ServiceResult",
     "SolveKnobs",
     "SolveRequest",
+    "TOO_DIRTY_FRACTION",
+    "delta_key",
+    "diff_problems",
     "problem_canonical_form",
     "problem_fingerprint",
     "report_semantic_digest",

@@ -37,6 +37,17 @@ pools via :func:`~repro.core.engines.backends.shutdown_pools`, so a
 cleanly closed front door leaves zero live worker threads or
 processes.
 
+**Delta requests.**  :meth:`solve_delta` is the awaitable face of
+:meth:`SchedulingService.solve_delta` -- answer a perturbed problem by
+warm-starting from a cached ancestor's journal.  With
+``delta_debounce > 0`` the front door additionally coalesces *change
+storms*: rapid-fire delta submissions whose problems share a
+:func:`~repro.service.delta.delta_key` collapse into one solve of the
+latest snapshot after the quiet period
+(:class:`~repro.service.delta.ChangeDebouncer`); earlier waiters get
+the result flagged ``superseded``.  :meth:`drain` force-flushes
+pending storms, so no waiter is stranded by shutdown.
+
 Wire protocol (one JSON object per line, responses tagged with the
 request's optional ``id``)::
 
@@ -45,6 +56,10 @@ request's optional ``id``)::
     <- {"ok": true, "id": 7, "label": "diurnal-cycle@64#1",
         "status": "miss", "profit": ..., "fingerprint": ...,
         "semantic_digest": ..., "latency_s": ...}
+    -> {"op": "solve_delta", "workload": "diurnal-cycle", "size": 64,
+        "seed": 1, "knobs": {...}, "id": 8}
+    <- {"ok": true, "id": 8, "status": "delta",
+        "delta": {"outcome": "warm", ...}, "superseded": false, ...}
     -> {"op": "stats"}
     <- {"ok": true, "stats": {...}}
 
@@ -62,11 +77,12 @@ from __future__ import annotations
 import asyncio
 import json
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.engines.backends import shutdown_pools
 from repro.core.problem import Problem
 from repro.service.cache import report_semantic_digest
+from repro.service.delta import ChangeDebouncer, delta_key
 from repro.service.fingerprint import SolveKnobs
 from repro.service.server import (
     SchedulingService,
@@ -96,6 +112,10 @@ class AsyncSchedulingService:
     max_inflight:
         How many requests may be admitted (dispatched to the service)
         at once; arrivals beyond it wait their turn on the semaphore.
+    delta_debounce:
+        Quiet period, in seconds, for coalescing delta change storms
+        (see the module docstring).  ``0`` (the default) disables
+        debouncing: every :meth:`solve_delta` dispatches immediately.
     """
 
     def __init__(
@@ -103,6 +123,7 @@ class AsyncSchedulingService:
         service: Optional[SchedulingService] = None,
         *,
         max_inflight: int = 32,
+        delta_debounce: float = 0.0,
         **service_kwargs,
     ) -> None:
         if service is not None and service_kwargs:
@@ -111,10 +132,23 @@ class AsyncSchedulingService:
             raise ValueError(
                 f"max_inflight must be positive, got {max_inflight}"
             )
+        if delta_debounce < 0:
+            raise ValueError(
+                f"delta_debounce must be >= 0, got {delta_debounce}"
+            )
         self.service = (
             service if service is not None else SchedulingService(**service_kwargs)
         )
         self.max_inflight = max_inflight
+        self.delta_debounce = delta_debounce
+        # The debounced solve path bypasses the draining check (the
+        # drain itself flushes the debouncer, and those coalesced
+        # requests were accepted before it began).
+        self._debouncer: Optional[ChangeDebouncer] = (
+            ChangeDebouncer(delta_debounce, self._debounced_solve)
+            if delta_debounce > 0
+            else None
+        )
         self._sem = asyncio.Semaphore(max_inflight)
         # The admission pool runs the blocking *front half* of a
         # request -- validate + fingerprint + memory probe + dispatch
@@ -153,7 +187,49 @@ class AsyncSchedulingService:
         the sync path) and for requests arriving after :meth:`drain`
         began.
         """
+        return await self._admit(request, self.service.submit)
+
+    async def solve_delta(self, request: SolveRequest) -> ServiceResult:
+        """``await``-able :meth:`SchedulingService.solve_delta`.
+
+        Without debouncing this is :meth:`solve` with the delta submit
+        path underneath -- same admission gate, same accounting.  With
+        ``delta_debounce > 0``, the request first parks in the
+        :class:`~repro.service.delta.ChangeDebouncer` under its
+        :func:`~repro.service.delta.delta_key` (computed on the
+        admission pool -- it walks every network); only the storm's
+        latest snapshot is solved, and superseded waiters can tell from
+        ``result.superseded``.
+        """
+        if self._debouncer is None:
+            return await self._admit(request, self.service.submit_delta)
         if self._closing:
+            self._rejected += 1
+            raise ServiceError(
+                f"request {request.label or '<unlabeled>'} rejected: "
+                "service is draining"
+            )
+        loop = asyncio.get_running_loop()
+        key = await loop.run_in_executor(
+            self._admission(), delta_key, request.problem, request.knobs
+        )
+        return await self._debouncer.submit(key, request)
+
+    async def _debounced_solve(self, request: SolveRequest) -> ServiceResult:
+        """The debouncer's solve callable: admit even while draining --
+        drain's flush is how accepted-but-parked requests resolve."""
+        return await self._admit(
+            request, self.service.submit_delta, during_drain=True
+        )
+
+    async def _admit(
+        self,
+        request: SolveRequest,
+        submit: Callable,
+        during_drain: bool = False,
+    ) -> ServiceResult:
+        """The bounded-admission path shared by plain and delta solves."""
+        if self._closing and not during_drain:
             self._rejected += 1
             raise ServiceError(
                 f"request {request.label or '<unlabeled>'} rejected: "
@@ -174,7 +250,7 @@ class AsyncSchedulingService:
             # which returns the request's concurrent future; awaiting
             # that future is the solve/cache-hit resolution itself.
             inner = await loop.run_in_executor(
-                self._admission(), self.service.submit, request
+                self._admission(), submit, request
             )
             result = await asyncio.wrap_future(inner)
             self._served += 1
@@ -327,11 +403,17 @@ class AsyncSchedulingService:
             if not isinstance(message, dict):
                 raise ValueError("request must be a JSON object")
             req_id = message.get("id")
-            if message.get("op") == "stats":
+            op = message.get("op")
+            if op == "stats":
                 return {"ok": True, "id": req_id, "stats": self.stats}
+            if op not in (None, "solve", "solve_delta"):
+                raise ValueError(f"unknown op {op!r}")
             request = self._wire_request(message)
-            result = await self.solve(request)
-            return {
+            if op == "solve_delta":
+                result = await self.solve_delta(request)
+            else:
+                result = await self.solve(request)
+            response = {
                 "ok": True,
                 "id": req_id,
                 "label": result.label,
@@ -341,6 +423,12 @@ class AsyncSchedulingService:
                 "semantic_digest": await self._response_digest(result),
                 "latency_s": result.latency_s,
             }
+            if op == "solve_delta":
+                response["delta"] = (
+                    result.delta.snapshot() if result.delta is not None else None
+                )
+                response["superseded"] = result.superseded
+            return response
         except Exception as exc:
             return {
                 "ok": False,
@@ -399,6 +487,12 @@ class AsyncSchedulingService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._debouncer is not None:
+            # Coalesced delta requests were accepted before the drain
+            # began: force-fire their buckets now (the debounced solve
+            # path bypasses the rejection above), so the idle wait
+            # below also covers them.
+            await self._debouncer.flush_all()
         await self._idle.wait()
         if self._request_tasks:
             await asyncio.gather(
@@ -454,5 +548,10 @@ class AsyncSchedulingService:
             "rejected": self._rejected,
             "connections": len(self._writers),
             "draining": self._closing,
+            "debouncer": (
+                self._debouncer.stats_snapshot()
+                if self._debouncer is not None
+                else None
+            ),
             "service": self.service.stats,
         }

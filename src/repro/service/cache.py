@@ -46,7 +46,7 @@ import pickle
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, Union
 
@@ -175,6 +175,12 @@ class CacheEntry:
     value: object = field(repr=False)
     expires_at: Optional[float] = None
     epoch: int = 0
+    #: Opaque warm-start payload (the delta path's solve journal),
+    #: stored only under ``keep_artifacts=True`` and only in the memory
+    #: tier -- :meth:`ResultCache.write_disk` strips it, so the disk
+    #: pickle never re-serializes first-phase internals and an entry
+    #: reloaded from disk simply has no warm-start to offer.
+    artifacts: object = field(default=None, repr=False, compare=False)
 
 
 class ResultCache:
@@ -203,6 +209,11 @@ class ResultCache:
     clock:
         The monotonic clock TTL deadlines are stamped and checked
         against.  Injectable so tests can advance time explicitly.
+    keep_artifacts:
+        Opt-in: retain warm-start artifacts handed to ``put``/
+        ``make_entry`` on the in-memory entry.  Off by default so
+        ordinary serving never pays the memory (artifacts can dwarf the
+        report) -- and artifacts never reach the disk tier either way.
     """
 
     def __init__(
@@ -213,6 +224,7 @@ class ResultCache:
         strict: bool = False,
         ttl: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        keep_artifacts: bool = False,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
@@ -224,6 +236,7 @@ class ResultCache:
         self.strict = strict
         self.ttl = ttl
         self.clock = clock
+        self.keep_artifacts = keep_artifacts
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
 
@@ -265,9 +278,12 @@ class ResultCache:
         value,
         ttl: Union[None, float, object] = _UNSET_TTL,
         epoch: int = 0,
+        artifacts: object = None,
     ) -> None:
         """Admit *value* under *fingerprint* into both tiers."""
-        entry = self.make_entry(fingerprint, value, ttl=ttl, epoch=epoch)
+        entry = self.make_entry(
+            fingerprint, value, ttl=ttl, epoch=epoch, artifacts=artifacts
+        )
         self.stats.stores += 1
         self.admit(entry)
         if self.disk_dir is not None:
@@ -298,11 +314,15 @@ class ResultCache:
         value,
         ttl: Union[None, float, object] = _UNSET_TTL,
         epoch: int = 0,
+        artifacts: object = None,
     ) -> CacheEntry:
         """Build a verified entry (runs the digest; no cache mutation).
 
         *ttl* defaults to the cache-wide setting; pass ``None``
         explicitly for a never-expiring entry, or a float override.
+        *artifacts* is dropped unless the cache opted into
+        ``keep_artifacts`` -- the digest never covers it, it is a
+        warm-start accelerant, not part of the cached answer.
         """
         if ttl is _UNSET_TTL:
             ttl = self.ttl
@@ -313,6 +333,7 @@ class ResultCache:
             value=value,
             expires_at=expires_at,
             epoch=epoch,
+            artifacts=artifacts if self.keep_artifacts else None,
         )
 
     def peek_entry(self, fingerprint: Fingerprint) -> Optional[CacheEntry]:
@@ -322,6 +343,19 @@ class ResultCache:
         as a lookup -- the async front door reuses the recorded digest
         instead of re-digesting reports per response."""
         return self._entries.get(fingerprint.digest)
+
+    def peek_fresh(self, fingerprint: Fingerprint) -> Optional[CacheEntry]:
+        """Like :meth:`peek_entry`, but ``None`` for an expired entry.
+
+        Still side-effect free (the expired entry is left for the next
+        real lookup to evict and count); the delta path uses this to
+        screen warm-start ancestors without perturbing LRU order or
+        hit/expiration accounting.
+        """
+        entry = self._entries.get(fingerprint.digest)
+        if entry is None or self._expired(entry):
+            return None
+        return entry
 
     def _expired(self, entry: CacheEntry) -> bool:
         # ``getattr``: entries pickled by a pre-TTL cache restore
@@ -450,6 +484,11 @@ class ResultCache:
         """
         if self.disk_dir is None:
             return False
+        if getattr(entry, "artifacts", None) is not None:
+            # Warm-start artifacts are a memory-tier accelerant only:
+            # pickling a whole first-phase journal per store is exactly
+            # the cost keep_artifacts= exists to avoid.
+            entry = replace(entry, artifacts=None)
         tmp: Optional[Path] = None
         try:
             self.disk_dir.mkdir(parents=True, exist_ok=True)

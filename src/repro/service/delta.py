@@ -1,0 +1,335 @@
+"""Delta-solve support: sketches, problem diffs, debounced change storms.
+
+The delta path answers a *perturbed* problem -- one demand added, one
+profit bumped -- by warm-starting from the journal of a cached ancestor
+solve instead of solving cold.  This module holds the service-layer
+ingredients; the replay machinery itself lives in
+:mod:`repro.core.engines.journal`.
+
+**Sketch.**  The exact fingerprint
+(:func:`~repro.service.fingerprint.solve_fingerprint`) changes under
+any perturbation, so it cannot *find* an ancestor.  The sketch is the
+color-refinement prefix of the canonical form: the sorted multiset of
+id-free network shapes, with the demand side left out entirely.  Every
+demand-level mutation (add, drop, profit/height change) preserves it,
+so all snapshots of a churn trajectory that leave the networks alone
+share one sketch -- that is the bucket the service's ancestor index is
+keyed by (:func:`delta_key` additionally folds in the solve knobs,
+since a journal recorded under different knobs can never certify).
+Sketch equality is deliberately weak: two genuinely different problems
+may collide.  Collisions are harmless -- the ancestor is only a warm
+start, and :func:`diff_problems` plus per-epoch signature checks decide
+what, if anything, is reused.
+
+**Diff.**  :func:`diff_problems` compares demand records by id
+(payload + access set) and network shapes by id.  Its touched sets
+drive the dirty-epoch *prediction* and the too-dirty bail; correctness
+never depends on the diff being tight.  ``networks_changed`` is the
+sketch-collision backstop: a same-shape network swap collides in the
+sketch but is caught here and falls back to a cold solve.
+
+**Debounce.**  :class:`ChangeDebouncer` coalesces change storms on the
+async front door, the event-driven rescheduling shape of openwsn's
+``networkManager``: rapid-fire mutations to one delta bucket collapse
+into a single solve of the *latest* snapshot after a quiet period, and
+every waiter gets that result -- earlier waiters' copies flagged
+``superseded`` so a caller can tell its exact snapshot was skipped.
+"""
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.core.canonical import stable_digest
+from repro.core.engines.journal import SolveJournal
+from repro.core.problem import Problem
+from repro.service.fingerprint import (
+    SolveKnobs,
+    _demand_payload,
+    _network_payload,
+)
+
+__all__ = [
+    "ChangeDebouncer",
+    "DELTA_OUTCOMES",
+    "DeltaArtifacts",
+    "DeltaStats",
+    "ProblemDelta",
+    "TOO_DIRTY_FRACTION",
+    "delta_key",
+    "diff_problems",
+    "problem_sketch",
+]
+
+_SKETCH_TAG = "sketch/v1"
+_DELTA_KEY_TAG = "delta-key/v1"
+
+#: Bail to a cold solve when the diff touches more than this fraction
+#: of the new problem's demands: past that point the "re-run dirty
+#: epochs" story degenerates to "re-run everything plus bookkeeping".
+TOO_DIRTY_FRACTION = 0.5
+
+#: The ways a delta request can resolve (``DeltaStats.outcome``):
+#: ``"warm"`` ran the certified-replay solve; the rest fell back cold,
+#: naming why -- no cached ancestor under the delta key, a network
+#: shape changed (including sketch collisions caught by the diff), the
+#: diff touched too many demands, or the requested engine is not the
+#: journaled incremental one.
+DELTA_OUTCOMES = (
+    "warm",
+    "ancestor-miss",
+    "network-change",
+    "too-dirty",
+    "engine-fallback",
+)
+
+
+def problem_sketch(problem: Problem) -> str:
+    """The demand-free structural sketch digest of *problem*.
+
+    Sorted id-free network payloads only: invariant under every
+    demand-level mutation *and* under network-id relabelings, so a
+    trajectory's snapshots bucket together.  Weak by design -- see the
+    module docstring for why collisions are safe.
+    """
+    payloads = tuple(
+        sorted(_network_payload(net) for net in problem.networks.values())
+    )
+    return stable_digest((_SKETCH_TAG, payloads))
+
+
+def delta_key(problem: Problem, knobs: SolveKnobs) -> str:
+    """The ancestor-index bucket: sketch plus the solve-knob key.
+
+    Folding the knobs in means an ancestor recorded under a different
+    oracle, seed, epsilon or capacity epoch is never even considered --
+    its journal's phase configs could not certify anyway.
+    """
+    return stable_digest(
+        (_DELTA_KEY_TAG, problem_sketch(problem), knobs.canonical_form())
+    )
+
+
+@dataclass(frozen=True)
+class ProblemDelta:
+    """The id-level diff between an ancestor problem and a new one."""
+
+    #: Demand ids present only in the new / only in the old problem,
+    #: and ids whose record (payload or access set) changed.
+    added: Tuple[int, ...]
+    removed: Tuple[int, ...]
+    changed: Tuple[int, ...]
+    #: Union of the three id sets.
+    touched_demands: frozenset
+    #: Path edges of every instance of a touched demand, on either
+    #: side of the diff -- the keys a perturbation can move duals on.
+    touched_edges: frozenset
+    #: Any network added, removed, or reshaped (id-wise).  Warm starts
+    #: are refused outright in this case: instance paths and layouts
+    #: are network-derived, so nothing certifies cheaply.
+    networks_changed: bool
+
+    def dirty_fraction(self, new: Problem) -> float:
+        """Touched demands over the new problem's demand count."""
+        if not new.demands:
+            return 1.0 if self.touched_demands else 0.0
+        return len(self.touched_demands) / len(new.demands)
+
+
+def diff_problems(old: Problem, new: Problem) -> ProblemDelta:
+    """Diff two problems into the sets the delta path steers by.
+
+    Demands are matched by id; a demand counts as changed when its
+    id-free payload *or* its access tuple differs.  Touched edges come
+    from the instance expansions of both problems -- the ancestor's
+    ``instances`` cached property is already warm from its solve, and
+    the new problem's expansion is needed by the solve anyway.
+    """
+    # Identity fast-paths throughout: trajectory snapshots share the
+    # objects a mutation did not rebuild, so ``is`` dodges the payload
+    # encodings for everything untouched -- the diff then costs O(delta)
+    # payloads, not O(problem).  (A rebuilt-but-equal object still
+    # compares correctly through the payload, just slower.)
+    networks_changed = sorted(old.networks) != sorted(new.networks) or any(
+        old.networks[nid] is not new.networks[nid]
+        and _network_payload(old.networks[nid]) != _network_payload(new.networks[nid])
+        for nid in old.networks
+    )
+    old_by_id = {a.demand_id: a for a in old.demands}
+    new_by_id = {a.demand_id: a for a in new.demands}
+
+    def demand_differs(i: int) -> bool:
+        if tuple(sorted(old.access[i])) != tuple(sorted(new.access[i])):
+            return True
+        old_d, new_d = old_by_id[i], new_by_id[i]
+        if old_d is new_d:
+            return False
+        return _demand_payload(old_d) != _demand_payload(new_d)
+
+    added = tuple(sorted(i for i in new_by_id if i not in old_by_id))
+    removed = tuple(sorted(i for i in old_by_id if i not in new_by_id))
+    changed = tuple(
+        sorted(i for i in old_by_id if i in new_by_id and demand_differs(i))
+    )
+    touched = frozenset(added) | frozenset(removed) | frozenset(changed)
+    touched_edges = set()
+    if touched:
+        for problem in (old, new):
+            for inst in problem.instances:
+                if inst.demand_id in touched:
+                    touched_edges |= inst.path_edges
+    return ProblemDelta(
+        added=added,
+        removed=removed,
+        changed=changed,
+        touched_demands=touched,
+        touched_edges=frozenset(touched_edges),
+        networks_changed=networks_changed,
+    )
+
+
+@dataclass
+class DeltaArtifacts:
+    """What a cache entry retains for future warm starts: the solved
+    problem object (its ``instances`` expansion stays warm for diffs)
+    and the solve's journal.  Lives only in the memory tier -- see
+    ``ResultCache(keep_artifacts=True)``."""
+
+    problem: Problem
+    journal: SolveJournal
+
+
+@dataclass(frozen=True)
+class DeltaStats:
+    """Per-request delta telemetry, attached to the service result."""
+
+    outcome: str
+    #: Short fingerprint of the warm-start ancestor (warm outcomes only).
+    ancestor: Optional[str] = None
+    touched_demands: int = 0
+    touched_edges: int = 0
+    epochs_replayed: int = 0
+    epochs_rerun: int = 0
+    predicted_dirty: int = 0
+    prediction_misses: int = 0
+    phases: int = 0
+    layouts_reused: int = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy (wire responses, findings JSON)."""
+        return {
+            "outcome": self.outcome,
+            "ancestor": self.ancestor,
+            "touched_demands": self.touched_demands,
+            "touched_edges": self.touched_edges,
+            "epochs_replayed": self.epochs_replayed,
+            "epochs_rerun": self.epochs_rerun,
+            "predicted_dirty": self.predicted_dirty,
+            "prediction_misses": self.prediction_misses,
+            "phases": self.phases,
+            "layouts_reused": self.layouts_reused,
+        }
+
+
+@dataclass
+class _Pending:
+    """One debounce bucket: the latest snapshot wins, everyone waits."""
+
+    latest: object
+    waiters: List[asyncio.Future] = field(default_factory=list)
+    timer: Optional[asyncio.Task] = None
+
+
+class ChangeDebouncer:
+    """Coalesce per-key change storms into one solve of the latest state.
+
+    ``submit(key, request)`` parks the caller; the first submission for
+    a key arms a *delay*-second timer, later submissions within the
+    window replace the pending request (counting ``storms_coalesced``)
+    and join the same wait.  When the timer fires -- or
+    :meth:`flush_all` forces it, as the front door's drain does -- the
+    *latest* request is solved once through the supplied async solve
+    callable and fanned out to every waiter; all but the last waiter
+    receive a copy flagged ``superseded=True``, since the result they
+    got reflects a newer snapshot than the one they submitted.  A solve
+    failure fans the exception out the same way.
+
+    Single-event-loop discipline: all state is touched only from the
+    owning loop, so no locks; the pop-then-solve in :meth:`_fire` is
+    atomic with respect to new submissions (they simply open a fresh
+    bucket, which is the correct storm boundary).
+    """
+
+    def __init__(
+        self,
+        delay: float,
+        solve: Callable[[object], Awaitable[object]],
+    ) -> None:
+        if delay <= 0:
+            raise ValueError(f"debounce delay must be positive, got {delay}")
+        self.delay = delay
+        self._solve = solve
+        self._pending: Dict[str, _Pending] = {}
+        self.storms_coalesced = 0
+        self.flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    async def submit(self, key: str, request) -> object:
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        pending = self._pending.get(key)
+        if pending is None:
+            pending = _Pending(latest=request)
+            pending.waiters.append(fut)
+            self._pending[key] = pending
+            pending.timer = loop.create_task(self._timer(key))
+        else:
+            self.storms_coalesced += 1
+            pending.latest = request
+            pending.waiters.append(fut)
+        return await fut
+
+    async def _timer(self, key: str) -> None:
+        await asyncio.sleep(self.delay)
+        await self._fire(key)
+
+    async def _fire(self, key: str) -> None:
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            return
+        if pending.timer is not None and pending.timer is not asyncio.current_task():
+            pending.timer.cancel()
+        self.flushes += 1
+        try:
+            result = await self._solve(pending.latest)
+        except BaseException as exc:  # noqa: BLE001 -- fan out verbatim
+            for fut in pending.waiters:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        last = len(pending.waiters) - 1
+        for i, fut in enumerate(pending.waiters):
+            if fut.done():
+                continue
+            if i == last:
+                fut.set_result(result)
+            else:
+                fut.set_result(dataclasses.replace(result, superseded=True))
+
+    async def flush_all(self) -> None:
+        """Fire every pending bucket now (drain path); loops until even
+        buckets opened *during* the flush have been served."""
+        while self._pending:
+            keys = list(self._pending)
+            await asyncio.gather(*(self._fire(key) for key in keys))
+
+    def stats_snapshot(self) -> dict:
+        return {
+            "pending": len(self._pending),
+            "storms_coalesced": self.storms_coalesced,
+            "flushes": self.flushes,
+        }

@@ -35,15 +35,26 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.auto import solve_auto
 from repro.algorithms.base import AlgorithmReport
 from repro.core.engines.backends import default_workers, shared_service_pool
+from repro.core.engines.journal import FirstPhaseJournal, journal_context
 from repro.core.problem import Problem
 from repro.service.cache import ResultCache
+from repro.service.delta import (
+    DELTA_OUTCOMES,
+    TOO_DIRTY_FRACTION,
+    DeltaArtifacts,
+    DeltaStats,
+    ProblemDelta,
+    delta_key,
+    diff_problems,
+)
 from repro.service.fingerprint import Fingerprint, SolveKnobs, solve_fingerprint
 from repro.workloads import build_workload
 
@@ -53,6 +64,11 @@ __all__ = [
     "ServiceResult",
     "SolveRequest",
 ]
+
+#: How many warm-start ancestors one delta bucket retains (newest-last
+#: LRU): a churn trajectory needs exactly one live ancestor, a small
+#: surplus tolerates interleaved trajectories sharing a sketch.
+_DELTA_ANCESTOR_CAP = 4
 
 
 class ServiceError(RuntimeError):
@@ -118,9 +134,12 @@ class SolveRequest:
 class ServiceResult:
     """What the service hands back for one request.
 
-    ``status`` is ``"hit"`` (served from cache, either tier) or
-    ``"miss"`` (a fresh solve ran; coalesced callers share the miss
-    result of the one solve that served them).  ``latency_s`` measures
+    ``status`` is ``"hit"`` (served from cache, either tier),
+    ``"miss"`` (a fresh cold solve ran; coalesced callers share the
+    miss result of the one solve that served them) or ``"delta"`` (a
+    :meth:`SchedulingService.submit_delta` request warm-started from a
+    cached ancestor's journal -- certified bit-identical to a cold
+    solve, see :mod:`repro.service.delta`).  ``latency_s`` measures
     this request's submit-to-resolution wall-clock.
     """
 
@@ -133,6 +152,14 @@ class ServiceResult:
     #: (coalesced callers see their *own* label here, not the
     #: primary's).
     label: Optional[str] = None
+    #: Delta telemetry -- present exactly when the request traveled the
+    #: delta path (``submit_delta``/``solve_delta``), whatever its
+    #: outcome; plain submissions and cache hits carry ``None``.
+    delta: Optional[DeltaStats] = None
+    #: Set by the async front door's debouncer when this caller's exact
+    #: snapshot was skipped in favor of a newer one in the same change
+    #: storm; the carried report answers that *newer* snapshot.
+    superseded: bool = False
 
     @property
     def profit(self) -> float:
@@ -169,6 +196,13 @@ class SchedulingService:
         call :meth:`invalidate` for prompt bulk expiry.
     clock:
         Monotonic clock for TTL deadlines (injectable for tests).
+    keep_artifacts:
+        Opt into warm-start journaling: incremental-engine solves run
+        journaled, the journal rides the cache entry (memory tier only)
+        and the entry is indexed by its delta key, making it a
+        candidate ancestor for :meth:`submit_delta`.  Off by default --
+        journals cost memory and a little recording time, and a service
+        that never sees delta traffic should pay neither.
     """
 
     def __init__(
@@ -180,20 +214,29 @@ class SchedulingService:
         strict_cache: bool = False,
         ttl: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        keep_artifacts: bool = False,
     ) -> None:
         self.workers = workers if workers is not None else default_workers()
         if self.workers < 1:
             raise ValueError(f"service workers must be positive, got {self.workers}")
         self.default_knobs = default_knobs
+        self.keep_artifacts = keep_artifacts
         self.cache = ResultCache(
             capacity=capacity, disk_dir=disk_dir, strict=strict_cache,
-            ttl=ttl, clock=clock,
+            ttl=ttl, clock=clock, keep_artifacts=keep_artifacts,
         )
         self._lock = threading.Lock()
         self._inflight: Dict[str, Future] = {}
         self._requests = 0
         self._coalesced = 0
         self._solves = 0
+        #: delta key -> (fingerprint digest -> Fingerprint), newest
+        #: last: the ancestor index submit_delta searches.  Entries are
+        #: pruned lazily when their cache entry expired, evicted or
+        #: lost its artifacts.
+        self._delta_index: Dict[str, "OrderedDict[str, Fingerprint]"] = {}
+        self._delta_requests = 0
+        self._delta_outcomes: Dict[str, int] = {o: 0 for o in DELTA_OUTCOMES}
 
     # ------------------------------------------------------------------
     # Submission API
@@ -215,6 +258,28 @@ class SchedulingService:
         it, so concurrent memory hits never queue behind another
         request's disk verify.
         """
+        return self._submit_common(request, self._solve_into)
+
+    def submit_delta(self, request: SolveRequest) -> "Future[ServiceResult]":
+        """Like :meth:`submit`, but a miss tries the delta path first.
+
+        The front of the pipeline is identical -- exact-fingerprint
+        cache hits and in-flight coalescing behave exactly as for
+        :meth:`submit` (an unchanged resubmission is a ``"hit"``, never
+        a replay).  Only a genuinely new fingerprint diverges: the
+        worker looks up a warm-start ancestor under the request's delta
+        key and runs the certified-replay solve, falling back to a cold
+        solve (``DeltaStats.outcome`` says why) whenever warm-starting
+        is impossible; either way the result is bit-identical to a cold
+        solve of this exact problem.
+        """
+        return self._submit_common(request, self._solve_delta_into)
+
+    def _submit_common(
+        self,
+        request: SolveRequest,
+        solver: Callable[[SolveRequest, Fingerprint, Future, float], None],
+    ) -> "Future[ServiceResult]":
         t0 = time.perf_counter()  # latency includes fingerprinting
         try:
             request.knobs.validate()
@@ -264,9 +329,7 @@ class SchedulingService:
             return fut
         with self._lock:
             self.cache.stats.misses += 1
-        shared_service_pool(self.workers).submit(
-            self._solve_into, request, fp, fut, t0
-        )
+        shared_service_pool(self.workers).submit(solver, request, fp, fut, t0)
         return fut
 
     @staticmethod
@@ -316,6 +379,8 @@ class SchedulingService:
                     status=first.status,
                     latency_s=time.perf_counter() - t0,
                     label=label,
+                    delta=first.delta,
+                    superseded=first.superseded,
                 )
             )
 
@@ -340,6 +405,10 @@ class SchedulingService:
     def solve(self, request: SolveRequest) -> ServiceResult:
         """Submit and wait; re-raises solve failures as :class:`ServiceError`."""
         return self.submit(request).result()
+
+    def solve_delta(self, request: SolveRequest) -> ServiceResult:
+        """:meth:`submit_delta` and wait; failures as :class:`ServiceError`."""
+        return self.submit_delta(request).result()
 
     def solve_batch(self, requests: Sequence[SolveRequest]) -> List[ServiceResult]:
         """Serve a batch: coalesce duplicates, solve distinct requests
@@ -368,16 +437,22 @@ class SchedulingService:
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def _solve_into(
+    def _journals(self, knobs: SolveKnobs) -> bool:
+        """Whether a solve under *knobs* records a warm-start journal:
+        only the incremental engine has the journaled runner, and only
+        a ``keep_artifacts`` service has anywhere to put the result."""
+        return self.keep_artifacts and knobs.engine == "incremental"
+
+    def _solve_request(
         self,
         request: SolveRequest,
-        fp: Fingerprint,
-        fut: "Future[ServiceResult]",
-        t0: float,
-    ) -> None:
-        try:
-            k = request.knobs
-            report = solve_auto(
+        journal: Optional[FirstPhaseJournal],
+    ) -> AlgorithmReport:
+        """Run the solve, journaled when a journal is supplied."""
+        k = request.knobs
+
+        def call() -> AlgorithmReport:
+            return solve_auto(
                 request.problem,
                 epsilon=k.epsilon,
                 mis=k.mis,
@@ -388,20 +463,72 @@ class SchedulingService:
                 backend=k.backend,
                 plan_granularity=k.plan_granularity,
             )
-            # Digest and disk write are the expensive admission steps;
-            # run them on this worker thread, outside the lock.  The
-            # write is best-effort inside the cache -- a failed persist
-            # degrades to memory-only, it never fails the request.  The
-            # entry inherits the request's capacity epoch, so a later
-            # bulk invalidation can find it.
-            entry = self.cache.make_entry(
-                fp, report, epoch=request.knobs.capacity_epoch
-            )
-            self.cache.write_disk(entry)
-            with self._lock:
-                self._solves += 1
-                self.cache.stats.stores += 1
-                self.cache.admit(entry)
+
+        if journal is None:
+            return call()
+        with journal_context(journal):
+            return call()
+
+    def _admit_result(
+        self,
+        request: SolveRequest,
+        fp: Fingerprint,
+        report: AlgorithmReport,
+        journal: Optional[FirstPhaseJournal],
+        key: Optional[str] = None,
+    ) -> None:
+        """Admit a solved report; index it as a delta ancestor if journaled.
+
+        Digest and disk write are the expensive admission steps; they
+        run on the calling worker thread, outside the lock.  The write
+        is best-effort inside the cache -- a failed persist degrades to
+        memory-only, it never fails the request -- and strips the
+        artifacts either way, so journals never get pickled.  The entry
+        inherits the request's capacity epoch, so a later bulk
+        invalidation can find it.  *key* lets the delta path hand down
+        its already-computed :func:`delta_key` (sketching walks every
+        network; doing it twice per request is measurable).
+        """
+        artifacts = (
+            DeltaArtifacts(problem=request.problem, journal=journal.journal)
+            if journal is not None
+            else None
+        )
+        entry = self.cache.make_entry(
+            fp, report, epoch=request.knobs.capacity_epoch, artifacts=artifacts
+        )
+        self.cache.write_disk(entry)
+        if artifacts is None:
+            key = None
+        elif key is None:
+            key = delta_key(request.problem, request.knobs)
+        with self._lock:
+            self._solves += 1
+            self.cache.stats.stores += 1
+            self.cache.admit(entry)
+            if key is not None:
+                self._register_ancestor(key, fp)
+
+    def _register_ancestor(self, key: str, fp: Fingerprint) -> None:
+        """Index *fp* as the newest ancestor of its delta bucket (caller
+        holds the lock)."""
+        bucket = self._delta_index.setdefault(key, OrderedDict())
+        bucket.pop(fp.digest, None)
+        bucket[fp.digest] = fp
+        while len(bucket) > _DELTA_ANCESTOR_CAP:
+            bucket.popitem(last=False)
+
+    def _solve_into(
+        self,
+        request: SolveRequest,
+        fp: Fingerprint,
+        fut: "Future[ServiceResult]",
+        t0: float,
+    ) -> None:
+        try:
+            journal = FirstPhaseJournal() if self._journals(request.knobs) else None
+            report = self._solve_request(request, journal)
+            self._admit_result(request, fp, report, journal)
             fut.set_result(
                 ServiceResult(
                     report=report,
@@ -419,6 +546,147 @@ class SchedulingService:
             # joins the still-registered future or hits the cache.
             with self._lock:
                 self._inflight.pop(fp.digest, None)
+
+    def _solve_delta_into(
+        self,
+        request: SolveRequest,
+        fp: Fingerprint,
+        fut: "Future[ServiceResult]",
+        t0: float,
+    ) -> None:
+        try:
+            report, stats = self._delta_solve(request, fp)
+            with self._lock:
+                self._delta_requests += 1
+                self._delta_outcomes[stats.outcome] += 1
+            fut.set_result(
+                ServiceResult(
+                    report=report,
+                    fingerprint=fp,
+                    status="delta" if stats.outcome == "warm" else "miss",
+                    latency_s=time.perf_counter() - t0,
+                    label=request.label,
+                    delta=stats,
+                )
+            )
+        except BaseException as exc:
+            fut.set_exception(self._wrap_failure(request, fp, exc))
+        finally:
+            with self._lock:
+                self._inflight.pop(fp.digest, None)
+
+    def _delta_solve(
+        self, request: SolveRequest, fp: Fingerprint
+    ) -> Tuple[AlgorithmReport, DeltaStats]:
+        """The delta decision chain; always ends in an admitted solve.
+
+        Every fallback arm runs the same cold solve a plain
+        :meth:`submit` would (journaled when possible, so the fallback
+        itself seeds the next delta's ancestor) -- the arms differ only
+        in the recorded outcome.
+        """
+        knobs = request.knobs
+        if knobs.engine != "incremental":
+            return self._cold_fallback(request, fp, "engine-fallback")
+        if not self.keep_artifacts:
+            return self._cold_fallback(request, fp, "ancestor-miss")
+        key = delta_key(request.problem, knobs)
+        found = self._find_ancestor(key, request.problem)
+        if found is None:
+            return self._cold_fallback(request, fp, "ancestor-miss", key=key)
+        ancestor_fp, artifacts, delta = found
+        if delta.networks_changed:
+            return self._cold_fallback(request, fp, "network-change", key=key)
+        if delta.dirty_fraction(request.problem) > TOO_DIRTY_FRACTION:
+            return self._cold_fallback(
+                request, fp, "too-dirty", delta=delta, key=key
+            )
+        journal = FirstPhaseJournal(
+            ancestor=artifacts.journal,
+            touched_demands=delta.touched_demands,
+            touched_edges=delta.touched_edges,
+        )
+        report = self._solve_request(request, journal)
+        self._admit_result(request, fp, report, journal, key=key)
+        stats = DeltaStats(
+            outcome="warm",
+            ancestor=ancestor_fp.short,
+            touched_demands=len(delta.touched_demands),
+            touched_edges=len(delta.touched_edges),
+            epochs_replayed=journal.epochs_replayed,
+            epochs_rerun=journal.epochs_rerun,
+            predicted_dirty=journal.predicted_dirty,
+            prediction_misses=journal.prediction_misses,
+            phases=journal.phases,
+            layouts_reused=journal.layouts_reused,
+        )
+        return report, stats
+
+    def _cold_fallback(
+        self,
+        request: SolveRequest,
+        fp: Fingerprint,
+        outcome: str,
+        delta: Optional[ProblemDelta] = None,
+        key: Optional[str] = None,
+    ) -> Tuple[AlgorithmReport, DeltaStats]:
+        journal = FirstPhaseJournal() if self._journals(request.knobs) else None
+        report = self._solve_request(request, journal)
+        self._admit_result(request, fp, report, journal, key=key)
+        stats = DeltaStats(
+            outcome=outcome,
+            touched_demands=0 if delta is None else len(delta.touched_demands),
+            touched_edges=0 if delta is None else len(delta.touched_edges),
+        )
+        return report, stats
+
+    def _find_ancestor(
+        self, key: str, problem: Problem
+    ) -> Optional[Tuple[Fingerprint, DeltaArtifacts, ProblemDelta]]:
+        """The nearest live ancestor in *key*'s bucket, by diff size.
+
+        Under the lock: read the bucket newest-first through
+        :meth:`~repro.service.cache.ResultCache.peek_fresh` (no recency
+        bump -- screening ancestors must not distort the LRU), pruning
+        index entries whose cache entry expired, was evicted, or lost
+        its artifacts (e.g. re-admitted from disk).  Outside the lock:
+        diff the few survivors against *problem* -- the expensive step
+        -- and pick the smallest touched-demand set among those whose
+        networks are unchanged.  ``None`` when nothing usable remains;
+        a bucket where *every* candidate changed networks returns the
+        newest such diff, letting the caller report
+        ``"network-change"`` rather than a bare miss.
+        """
+        with self._lock:
+            bucket = self._delta_index.get(key)
+            if not bucket:
+                return None
+            candidates: List[Tuple[Fingerprint, DeltaArtifacts]] = []
+            stale: List[str] = []
+            for digest in reversed(bucket):
+                cand_fp = bucket[digest]
+                entry = self.cache.peek_fresh(cand_fp)
+                if entry is None or entry.artifacts is None:
+                    stale.append(digest)
+                    continue
+                candidates.append((cand_fp, entry.artifacts))
+            for digest in stale:
+                bucket.pop(digest, None)
+            if not bucket:
+                self._delta_index.pop(key, None)
+        best: Optional[Tuple[Fingerprint, DeltaArtifacts, ProblemDelta]] = None
+        collided: Optional[Tuple[Fingerprint, DeltaArtifacts, ProblemDelta]] = None
+        for cand_fp, artifacts in candidates:
+            delta = diff_problems(artifacts.problem, problem)
+            if delta.networks_changed:
+                if collided is None:
+                    collided = (cand_fp, artifacts, delta)
+                continue
+            if best is None or len(delta.touched_demands) < len(
+                best[2].touched_demands
+            ):
+                best = (cand_fp, artifacts, delta)
+        return best if best is not None else collided
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -468,7 +736,8 @@ class SchedulingService:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> dict:
-        """Requests seen, coalesced joins, solves run, cache counters."""
+        """Requests seen, coalesced joins, solves run, cache and delta
+        counters."""
         with self._lock:
             return {
                 "requests": self._requests,
@@ -476,4 +745,7 @@ class SchedulingService:
                 "solves": self._solves,
                 "inflight": len(self._inflight),
                 "cache": self.cache.stats.snapshot(),
+                "delta_requests": self._delta_requests,
+                "delta_outcomes": dict(self._delta_outcomes),
+                "ancestor_buckets": len(self._delta_index),
             }

@@ -22,13 +22,28 @@ from repro.workloads.scenarios import (
     figure6_problem,
     scenario,
 )
+from repro.workloads.trajectories import (
+    MUTATION_KINDS,
+    TRAJECTORIES,
+    TrajectorySpec,
+    TrajectoryStep,
+    build_trajectory,
+    get_trajectory,
+    register_trajectory,
+    trajectory_names,
+)
 from repro.workloads.trees import SHAPES, random_forest, random_tree, random_tree_edges
 
 __all__ = [
+    "MUTATION_KINDS",
     "REGISTRY",
     "SCENARIOS",
     "SHAPES",
+    "TRAJECTORIES",
+    "TrajectorySpec",
+    "TrajectoryStep",
     "WorkloadSpec",
+    "build_trajectory",
     "build_workload",
     "bursty_line_problem",
     "diurnal_line_problem",
@@ -38,6 +53,7 @@ __all__ = [
     "figure6_demand",
     "figure6_network",
     "figure6_problem",
+    "get_trajectory",
     "get_workload",
     "multi_tenant_forest_problem",
     "random_forest",
@@ -45,7 +61,9 @@ __all__ = [
     "random_tree",
     "random_tree_edges",
     "random_tree_problem",
+    "register_trajectory",
     "register_workload",
     "scenario",
+    "trajectory_names",
     "workload_names",
 ]

@@ -1,0 +1,537 @@
+"""Delta-solve correctness under churn.
+
+The contract under test: whatever a churn trajectory does to a
+problem, ``solve_delta`` answers **bit-identically** to a cold solve
+of the same snapshot -- warm replays, every fallback arm, debounced
+storms and wire requests included.  A hypothesis-driven trajectory
+driver sweeps mutation streams across the engine matrix; targeted
+tests pin each decision arm (ancestor-miss, sketch collision caught as
+network-change, too-dirty, exact-hit revert); fault-injection tests
+kill a process-pool worker mid-wave, expire the ancestor mid-coalesce,
+and sever a wire connection mid-batch.
+
+No ``pytest-asyncio``: each async test drives its own loop with
+``asyncio.run`` (the repo convention, see ``test_async_front.py``).
+"""
+import asyncio
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import solve_auto
+from repro.core.engines import backends
+from repro.core.problem import Problem
+from repro.service import (
+    DELTA_OUTCOMES,
+    AsyncSchedulingService,
+    SchedulingService,
+    ServiceError,
+    SolveKnobs,
+    SolveRequest,
+    delta_key,
+    diff_problems,
+    problem_sketch,
+    report_semantic_digest,
+)
+from repro.trees.tree import TreeNetwork
+from repro.workloads import build_trajectory, build_workload, trajectory_names
+
+KNOBS = dict(engine="incremental", mis="greedy", epsilon=0.25)
+#: The engine/backend matrix: only the incremental engine can warm-start
+#: (the others report ``engine-fallback``), but digest identity must
+#: hold everywhere.
+ENGINE_BACKENDS = [
+    ("incremental", None),
+    ("reference", None),
+    ("parallel", "thread"),
+    ("parallel", "process"),
+]
+COMMON = dict(
+    max_examples=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def service(**kw):
+    kw.setdefault("keep_artifacts", True)
+    kw.setdefault("disk_dir", None)
+    kw.setdefault("workers", 2)
+    return SchedulingService(**kw)
+
+
+def request(problem, knobs=None, label=None):
+    return SolveRequest(
+        problem=problem,
+        knobs=knobs if knobs is not None else SolveKnobs(**KNOBS),
+        label=label,
+    )
+
+
+def cold_digest(problem, knobs):
+    """Digest of a direct (service-free) solve under *knobs*."""
+    report = solve_auto(
+        problem,
+        epsilon=knobs.epsilon,
+        mis=knobs.mis,
+        seed=knobs.seed,
+        decomposition=knobs.decomposition,
+        engine=knobs.engine,
+        workers=knobs.workers,
+        backend=knobs.backend,
+        plan_granularity=knobs.plan_granularity,
+    )
+    return report_semantic_digest(report)
+
+
+def replay(svc, trajectory, knobs):
+    """Run a trajectory through *svc*, asserting digest identity on
+    every snapshot; returns the non-hit delta outcomes in order."""
+    outcomes = []
+    for step in trajectory:
+        req = request(step.problem, knobs, label=f"step+{step.index}")
+        if step.index == 0:
+            result = svc.solve(req)
+        else:
+            result = svc.solve_delta(req)
+            if result.delta is None:
+                # Churn walked back to an already-served snapshot: an
+                # exact fingerprint hit, by design not a replay.
+                assert result.status == "hit"
+            else:
+                assert result.delta.outcome in DELTA_OUTCOMES
+                outcomes.append(result.delta.outcome)
+        assert report_semantic_digest(result.report) == cold_digest(
+            step.problem, knobs
+        ), f"step {step.index} ({step.kind}) diverged from the cold solve"
+    return outcomes
+
+
+class TestTrajectoryDriver:
+    """The hypothesis sweep: any registered trajectory, any seed, any
+    engine -- delta answers must be bitwise the cold answers."""
+
+    @settings(**COMMON)
+    @given(
+        name=st.sampled_from(sorted(trajectory_names())),
+        size=st.sampled_from([12, 16]),
+        seed=st.integers(min_value=0, max_value=4),
+        steps=st.integers(min_value=3, max_value=5),
+        engine_backend=st.sampled_from(ENGINE_BACKENDS[:3]),
+    )
+    def test_delta_equals_cold_along_any_trajectory(
+        self, name, size, seed, steps, engine_backend
+    ):
+        engine, backend = engine_backend
+        knobs = SolveKnobs(
+            engine=engine, backend=backend, mis="greedy",
+            epsilon=0.25, seed=seed,
+        )
+        outcomes = replay(
+            service(), build_trajectory(name, size, seed=seed, steps=steps),
+            knobs,
+        )
+        if engine != "incremental":
+            assert set(outcomes) <= {"engine-fallback"}
+
+    @pytest.mark.parametrize("engine,backend", ENGINE_BACKENDS)
+    def test_engine_backend_matrix(self, engine, backend):
+        # The full matrix deterministically, process backend included
+        # (kept out of the hypothesis sweep: pool spawn is seconds).
+        knobs = SolveKnobs(
+            engine=engine, backend=backend, mis="greedy",
+            epsilon=0.25, seed=3,
+        )
+        outcomes = replay(
+            service(), build_trajectory("tenant-churn", 16, seed=3, steps=4),
+            knobs,
+        )
+        if engine == "incremental":
+            assert "warm" in outcomes, (
+                "an id-stable churn stream must warm-start on the "
+                "incremental engine"
+            )
+        else:
+            assert outcomes and set(outcomes) == {"engine-fallback"}
+
+    def test_warm_replay_reruns_only_dirty_epochs(self):
+        svc = service()
+        knobs = SolveKnobs(**KNOBS)
+        trajectory = build_trajectory("tenant-churn", 32, seed=1, steps=6)
+        svc.solve(request(trajectory[0].problem, knobs))
+        warm = []
+        for step in trajectory[1:]:
+            result = svc.solve_delta(request(step.problem, knobs))
+            if result.delta is not None and result.delta.outcome == "warm":
+                warm.append(result.delta)
+                assert result.status == "delta"
+        assert warm, "expected warm replays along an id-stable stream"
+        assert any(s.epochs_replayed > 0 for s in warm), (
+            "warm solves must certify-replay clean epochs, not re-run "
+            "everything"
+        )
+        assert all(
+            s.epochs_replayed + s.epochs_rerun > 0 and s.ancestor for s in warm
+        )
+
+
+class TestDecisionArms:
+    def test_exact_resubmission_is_a_hit_not_a_replay(self):
+        svc = service()
+        problem = build_workload("multi-tenant-forest", 16, seed=2)
+        cold = svc.solve(request(problem))
+        again = svc.solve_delta(request(problem))
+        assert again.status == "hit" and again.delta is None
+        assert report_semantic_digest(again.report) == report_semantic_digest(
+            cold.report
+        )
+
+    def test_ancestor_miss_on_fresh_service(self):
+        svc = service()
+        problem = build_workload("multi-tenant-forest", 16, seed=2)
+        result = svc.solve_delta(request(problem))
+        assert result.status == "miss"
+        assert result.delta.outcome == "ancestor-miss"
+        # The fallback itself seeded the ancestor index: a perturbation
+        # of the same problem now warm-starts.
+        mutated = Problem(
+            networks=problem.networks,
+            demands=[replace(problem.demands[0], profit=99.5)]
+            + list(problem.demands[1:]),
+            access=dict(problem.access),
+        )
+        warm = svc.solve_delta(request(mutated))
+        assert warm.delta.outcome == "warm"
+        assert report_semantic_digest(warm.report) == cold_digest(
+            mutated, SolveKnobs(**KNOBS)
+        )
+
+    def test_keep_artifacts_false_always_falls_back(self):
+        svc = service(keep_artifacts=False)
+        problem = build_workload("multi-tenant-forest", 16, seed=2)
+        svc.solve_delta(request(problem))
+        mutated = Problem(
+            networks=problem.networks,
+            demands=[replace(problem.demands[0], profit=99.5)]
+            + list(problem.demands[1:]),
+            access=dict(problem.access),
+        )
+        result = svc.solve_delta(request(mutated))
+        assert result.delta.outcome == "ancestor-miss"
+        assert report_semantic_digest(result.report) == cold_digest(
+            mutated, SolveKnobs(**KNOBS)
+        )
+
+    @staticmethod
+    def _two_shape_problem(swap: bool) -> Problem:
+        """Two different-shaped networks; *swap* exchanges their ids."""
+        path = [(0, 1), (1, 2), (2, 3)]
+        star = [(0, 1), (0, 2), (0, 3)]
+        a, b = (star, path) if swap else (path, star)
+        networks = {0: TreeNetwork(0, a), 1: TreeNetwork(1, b)}
+        demands = [
+            replace(d, profit=float(3 + d.demand_id))
+            for d in (
+                build_workload("multi-tenant-forest", 8, seed=0).demands[:4]
+            )
+        ]
+        demands = [replace(d, u=0, v=1) for d in demands]
+        # Access only network 0: the id-swap then *moves the demands
+        # onto a different shape* -- a semantically different problem
+        # (no relabeling makes it the original), yet sketch-identical.
+        return Problem(
+            networks=networks,
+            demands=demands,
+            access={d.demand_id: (0,) for d in demands},
+        )
+
+    def test_sketch_collision_caught_as_network_change(self):
+        original = self._two_shape_problem(swap=False)
+        swapped = self._two_shape_problem(swap=True)
+        # The id-swap is invisible to the sketch (id-free payloads) --
+        # the two problems share a delta bucket...
+        assert problem_sketch(original) == problem_sketch(swapped)
+        knobs = SolveKnobs(**KNOBS)
+        assert delta_key(original, knobs) == delta_key(swapped, knobs)
+        # ...but the per-id diff refuses the warm start.
+        assert diff_problems(original, swapped).networks_changed
+        svc = service()
+        svc.solve(request(original))
+        result = svc.solve_delta(request(swapped))
+        assert result.delta.outcome == "network-change"
+        assert report_semantic_digest(result.report) == cold_digest(
+            swapped, knobs
+        )
+
+    def test_too_dirty_bails_to_cold(self):
+        problem = build_workload("multi-tenant-forest", 16, seed=2)
+        mutated = Problem(
+            networks=problem.networks,
+            demands=[
+                replace(d, profit=d.profit * 1.5) for d in problem.demands
+            ],
+            access=dict(problem.access),
+        )
+        assert (
+            diff_problems(problem, mutated).dirty_fraction(mutated) > 0.5
+        )
+        svc = service()
+        svc.solve(request(problem))
+        result = svc.solve_delta(request(mutated))
+        assert result.delta.outcome == "too-dirty"
+        assert result.delta.touched_demands == len(problem.demands)
+        assert report_semantic_digest(result.report) == cold_digest(
+            mutated, SolveKnobs(**KNOBS)
+        )
+
+
+class TestDebounce:
+    @staticmethod
+    def storm(delta_debounce=0.05, ttl=None, clock=None, storm_size=4):
+        """Fire *storm_size* rapid solve_delta calls (one trajectory's
+        consecutive snapshots) at a debounced front door."""
+        kw = {}
+        if ttl is not None:
+            kw.update(ttl=ttl, clock=clock)
+        svc = service(**kw)
+        # capacity-steps mutations (resize / capacity-step) are all
+        # sketch-preserving: the whole storm shares one delta bucket,
+        # so it must coalesce into exactly one flush.
+        trajectory = build_trajectory(
+            "capacity-steps", 16, seed=1, steps=storm_size + 1
+        )
+
+        async def run():
+            front = AsyncSchedulingService(
+                service=svc, delta_debounce=delta_debounce
+            )
+            await front.solve(request(trajectory[0].problem))
+            tasks = [
+                asyncio.ensure_future(
+                    front.solve_delta(request(step.problem))
+                )
+                for step in trajectory[1:]
+            ]
+            if clock is not None:
+                # Expire the ancestor *while* the storm is parked in
+                # the debouncer, before its quiet period elapses.
+                while not len(front._debouncer):
+                    await asyncio.sleep(0.001)
+                clock.advance(clock.expire_after)
+            results = await asyncio.gather(*tasks)
+            stats = front.stats
+            await front.drain()
+            return results, stats
+
+        return trajectory, *asyncio.run(run())
+
+    def test_storm_coalesces_to_latest_snapshot(self):
+        trajectory, results, stats = self.storm()
+        latest = cold_digest(trajectory[-1].problem, SolveKnobs(**KNOBS))
+        assert all(
+            report_semantic_digest(r.report) == latest for r in results
+        ), "every waiter gets the storm's latest snapshot"
+        assert [r.superseded for r in results] == [True] * (len(results) - 1) + [
+            False
+        ]
+        assert stats["debouncer"]["flushes"] == 1
+        assert stats["debouncer"]["storms_coalesced"] == len(results) - 1
+        # One ancestor solve + one coalesced delta solve.
+        assert stats["service"]["solves"] == 2
+
+    def test_drain_flushes_pending_storm(self):
+        svc = service()
+        trajectory = build_trajectory("tenant-churn", 16, seed=1, steps=2)
+
+        async def run():
+            # A debounce window far longer than the test: only the
+            # drain's force-flush can resolve the waiter.
+            front = AsyncSchedulingService(service=svc, delta_debounce=60.0)
+            await front.solve(request(trajectory[0].problem))
+            task = asyncio.ensure_future(
+                front.solve_delta(request(trajectory[1].problem))
+            )
+            while not len(front._debouncer):
+                await asyncio.sleep(0.005)
+            await front.drain()
+            return await asyncio.wait_for(task, timeout=5)
+
+        result = asyncio.run(run())
+        assert result.delta is not None and result.delta.outcome == "warm"
+
+    def test_debounce_zero_dispatches_immediately(self):
+        svc = service()
+        trajectory = build_trajectory("tenant-churn", 16, seed=1, steps=2)
+
+        async def run():
+            front = AsyncSchedulingService(service=svc)
+            await front.solve(request(trajectory[0].problem))
+            result = await front.solve_delta(request(trajectory[1].problem))
+            await front.drain()
+            return result, front.stats
+
+        result, stats = asyncio.run(run())
+        assert result.delta.outcome == "warm" and not result.superseded
+        assert stats["debouncer"] is None
+
+
+class FakeClock:
+    """Injectable monotonic clock; ``expire_after`` is how far a test
+    must advance to blow every TTL it configured."""
+
+    def __init__(self, expire_after):
+        self.now = 100.0
+        self.expire_after = expire_after
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestFaultInjection:
+    def test_process_worker_death_mid_wave_fails_attributably(self):
+        """A process-pool worker dying mid-wave during a delta re-solve
+        must fail the request attributably, evict the poisoned pool,
+        and leave the service able to serve the retry bit-identically.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        class StubBrokenPool:
+            def __init__(self):
+                self.shutdown_calls = []
+
+            def submit(self, fn, *args):
+                raise BrokenProcessPool("worker died mid-wave")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                self.shutdown_calls.append((wait, cancel_futures))
+
+        workers = 3
+        knobs = SolveKnobs(
+            engine="parallel", backend="process", workers=workers,
+            mis="greedy", epsilon=0.25,
+        )
+        # Forest workload: its epoch waves hold multiple component
+        # jobs, so the wave genuinely fans out to the pool (a 1-job
+        # wave would run inline and never touch the dying worker).
+        problem = build_workload("multi-tenant-forest", 16, seed=1)
+        svc = service()
+        stub = StubBrokenPool()
+        saved = backends._PROCESS_POOLS.pop(workers, None)
+        backends._PROCESS_POOLS[workers] = stub
+        try:
+            with pytest.raises(ServiceError, match="mid-wave"):
+                svc.solve_delta(request(problem, knobs, label="doomed"))
+            assert stub.shutdown_calls, "poisoned pool must be shut down"
+            assert backends._PROCESS_POOLS.get(workers) is not stub, (
+                "poisoned pool must leave the warm registry"
+            )
+            # The retry re-warms a real pool and serves correctly.
+            result = svc.solve_delta(request(problem, knobs, label="retry"))
+            assert result.delta.outcome == "engine-fallback"
+            assert report_semantic_digest(result.report) == cold_digest(
+                problem, knobs
+            )
+        finally:
+            pool = backends._PROCESS_POOLS.pop(workers, None)
+            if pool is not None:
+                pool.shutdown(wait=True)
+            if saved is not None:
+                backends._PROCESS_POOLS[workers] = saved
+
+    def test_ancestor_expiry_mid_coalesce_degrades_to_cold(self):
+        """The ancestor's cache entry expiring while a storm is parked
+        in the debouncer: the flush finds no live ancestor and must
+        degrade to an attributed cold solve, never serve stale bits --
+        and the fallback re-seeds the bucket for the next delta."""
+        clock = FakeClock(expire_after=50.0)
+        trajectory, results, stats = TestDebounce.storm(
+            ttl=10.0, clock=clock, storm_size=3
+        )
+        final = results[-1]
+        assert final.delta is not None
+        assert final.delta.outcome == "ancestor-miss", (
+            "an expired ancestor must be pruned, not replayed"
+        )
+        assert report_semantic_digest(final.report) == cold_digest(
+            trajectory[-1].problem, SolveKnobs(**KNOBS)
+        )
+
+    def test_wire_severed_mid_batch_leaves_service_healthy(self):
+        """A client vanishing with delta requests in flight: the server
+        finishes the work, survives the dead socket, and keeps serving
+        new connections."""
+        lines = [
+            {"id": i, "op": "solve_delta", "workload": "multi-tenant-forest",
+             "size": 16, "seed": i, "knobs": KNOBS}
+            for i in range(3)
+        ]
+
+        async def run():
+            front = AsyncSchedulingService(service=service())
+            host, port = await front.serve()
+            _, writer = await asyncio.open_connection(host, port)
+            for line in lines:
+                writer.write(json.dumps(line).encode() + b"\n")
+            await writer.drain()
+            writer.transport.abort()  # sever without goodbye
+            # The same front door must still answer a fresh connection.
+            reader2, writer2 = await asyncio.open_connection(host, port)
+            writer2.write(json.dumps(lines[0]).encode() + b"\n")
+            await writer2.drain()
+            response = json.loads(await reader2.readline())
+            writer2.close()
+            await writer2.wait_closed()
+            await front.drain()
+            return response, front.stats
+
+        response, stats = asyncio.run(run())
+        assert response["ok"]
+        assert response["status"] in ("miss", "hit", "delta")
+        assert "delta" in response and "superseded" in response
+        assert stats["served"] >= 1
+        assert stats["service"]["requests"] >= 1
+
+
+class TestWireOp:
+    def test_solve_delta_op_roundtrip_and_unknown_op(self):
+        wire = {
+            "id": 1, "op": "solve_delta", "workload": "multi-tenant-forest",
+            "size": 16, "seed": 2, "knobs": KNOBS,
+        }
+
+        async def run():
+            front = AsyncSchedulingService(service=service())
+            host, port = await front.serve()
+            reader, writer = await asyncio.open_connection(host, port)
+            responses = []
+            # Strictly sequential (request 2 only after response 1), so
+            # the resubmission is a cache hit rather than a coalesce.
+            for line in (wire, {**wire, "id": 2}, {"id": 3, "op": "bogus"}):
+                writer.write(json.dumps(line).encode() + b"\n")
+                await writer.drain()
+                responses.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            await front.drain()
+            return {r.get("id"): r for r in responses}
+
+        by_id = asyncio.run(run())
+        first = by_id[1]
+        assert first["ok"] and first["status"] == "miss"
+        assert first["delta"]["outcome"] == "ancestor-miss"
+        assert first["superseded"] is False
+        # An identical resubmission is an exact hit: delta rides null.
+        second = by_id[2]
+        assert second["ok"] and second["status"] == "hit"
+        assert second["delta"] is None
+        assert not by_id[3]["ok"] and "bogus" in by_id[3]["error"]
+        expected = cold_digest(
+            build_workload("multi-tenant-forest", 16, seed=2),
+            SolveKnobs(**KNOBS, seed=2),
+        )
+        assert first["semantic_digest"] == expected

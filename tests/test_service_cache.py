@@ -201,6 +201,57 @@ class TestReportDigest:
         assert loaded.result.semantic_tuple() == report.result.semantic_tuple()
 
 
+class TestKeepArtifacts:
+    def test_artifacts_retained_in_memory_when_opted_in(self):
+        cache = value_cache(capacity=4, keep_artifacts=True)
+        cache.put(fp("a"), "A", artifacts={"journal": "warm-start"})
+        entry = cache.peek_entry(fp("a"))
+        assert entry.artifacts == {"journal": "warm-start"}
+        # Artifacts are a warm-start accelerant, never part of the
+        # cached answer: the digest ignores them.
+        assert entry.digest == stable_digest("A")
+
+    def test_artifacts_dropped_by_default(self):
+        cache = value_cache(capacity=4)
+        cache.put(fp("a"), "A", artifacts={"journal": "warm-start"})
+        assert cache.peek_entry(fp("a")).artifacts is None
+
+    def test_artifacts_stripped_from_disk_pickle(self, tmp_path):
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("journals must never be pickled")
+
+        cache = value_cache(
+            capacity=4, disk_dir=str(tmp_path), keep_artifacts=True
+        )
+        # An unpicklable artifact proves stripping happens before the
+        # dump, not that the payload merely round-tripped by luck.
+        cache.put(fp("a"), "A", artifacts=Unpicklable())
+        assert cache.stats.disk_write_failures == 0
+        persisted = pickle.loads(cache._path(fp("a").digest).read_bytes())
+        assert persisted.artifacts is None
+        assert cache.peek_entry(fp("a")).artifacts is not None
+
+    def test_eviction_to_disk_loses_artifacts(self, tmp_path):
+        cache = value_cache(
+            capacity=1, disk_dir=str(tmp_path), keep_artifacts=True
+        )
+        cache.put(fp("a"), "A", artifacts=("warm",))
+        cache.put(fp("b"), "B")  # evicts a's memory entry
+        assert cache.stats.evictions == 1
+        # The disk reload serves the value but has no warm-start to
+        # offer -- exactly what the delta path's ancestor screening
+        # (peek_fresh + artifacts check) must tolerate.
+        assert cache.get(fp("a")) == "A"
+        assert cache.peek_entry(fp("a")).artifacts is None
+
+    def test_overwrite_replaces_artifacts(self):
+        cache = value_cache(capacity=4, keep_artifacts=True)
+        cache.put(fp("a"), "A", artifacts=("old",))
+        cache.put(fp("a"), "A", artifacts=("new",))
+        assert cache.peek_entry(fp("a")).artifacts == ("new",)
+
+
 class TestConcurrentDiskWriters:
     def test_interleaved_writers_never_leave_a_corrupt_file(self, tmp_path):
         # Two processes (here: threads, same race surface) persisting
