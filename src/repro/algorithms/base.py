@@ -164,7 +164,16 @@ def tree_layouts(
 
 def line_layouts(problem: Problem) -> InstanceLayout:
     """Length-class layered decompositions for every line-network
-    (Section 7, ``Delta = 3``)."""
+    (Section 7, ``Delta = 3``).
+
+    Like :func:`tree_layouts`, an active first-phase journal (the
+    delta-solve path) serves the per-network work from its
+    content-keyed layout cache: ``layered_by_length`` is a pure
+    function of (network id, instance expansion), which is exactly
+    what the key embeds, so a reused object is value-identical to a
+    rebuild.
+    """
+    journal = active_journal()
     layered: List[LayeredDecomposition] = []
     by_net = problem.instances_by_network
     for nid in sorted(problem.networks):
@@ -173,5 +182,15 @@ def line_layouts(problem: Problem) -> InstanceLayout:
         instances = by_net.get(nid, ())
         if not instances:
             continue
-        layered.append(layered_by_length(nid, instances))
+        ld = lkey = None
+        if journal is not None:
+            lkey = (nid, "length", instances)
+            ld = journal.lookup_layered(lkey)
+        if ld is not None:
+            journal.layouts_reused += 1
+        else:
+            ld = layered_by_length(nid, instances)
+        if journal is not None:
+            journal.record_layered(lkey, ld)
+        layered.append(ld)
     return InstanceLayout.from_layered(layered)

@@ -52,12 +52,13 @@ def solve_unit_trees(
         Override the stage ratio (defaults to ``2(Delta+1)/(2(Delta+1)+1)``
         for the realized ``Delta``, i.e. ``14/15`` when ``Delta = 6``).
     engine:
-        First-phase engine: ``'reference'``, ``'incremental'`` or
-        ``'parallel'``.
+        First-phase engine: ``'reference'``, ``'incremental'``,
+        ``'parallel'`` or ``'vectorized'`` (the numpy columnar kernel).
     workers:
-        Pool size for ``engine='parallel'`` (default: usable CPUs, capped).
+        Pool size for the pooled engines (``'parallel'``, and
+        ``'vectorized'`` when given; default: usable CPUs, capped).
     backend:
-        Execution backend for ``engine='parallel'``: ``'thread'``
+        Execution backend for the pooled engines: ``'thread'``
         (default), ``'process'`` (real CPU parallelism via pickled epoch
         jobs) or ``'serial'`` (debugging).
     plan_granularity:

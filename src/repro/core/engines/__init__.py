@@ -4,9 +4,11 @@
 loop), ``incremental`` the dirty-set production engine, ``parallel`` the
 plan-driven wave executor (whose *execution backend* -- thread pool,
 process pool, or inline serial -- is itself pluggable, see
-:mod:`repro.core.engines.backends`).  All three engines produce
-bit-identical semantic artifacts; :mod:`repro.core.framework` is the
-stable facade that selects between them.
+:mod:`repro.core.engines.backends`), and ``vectorized`` the
+numpy-columnar kernel (:mod:`repro.core.engines.columnar`).  All four
+engines produce bit-identical semantic artifacts for the bundled raise
+rules and MIS oracles; :mod:`repro.core.framework` is the stable facade
+that selects between them.
 """
 from repro.core.engines.artifacts import (
     FirstPhaseArtifacts,
@@ -27,6 +29,12 @@ from repro.core.engines.backends import (
     run_epoch_job,
     usable_cpu_count,
     validate_backend,
+)
+from repro.core.engines.columnar import (
+    ColumnarLayout,
+    build_columnar,
+    run_epoch_columnar,
+    run_first_phase_vectorized,
 )
 from repro.core.engines.incremental import (
     run_epoch_incremental,
@@ -52,6 +60,7 @@ from repro.core.engines.reference import run_first_phase_reference
 __all__ = [
     "BACKEND_ENV_VAR",
     "BACKENDS",
+    "ColumnarLayout",
     "EpochExecutorBackend",
     "EpochJob",
     "EpochOutcome",
@@ -64,6 +73,7 @@ __all__ = [
     "PhaseLog",
     "SolveJournal",
     "active_journal",
+    "build_columnar",
     "default_workers",
     "epoch_signature",
     "group_members",
@@ -72,11 +82,13 @@ __all__ = [
     "phase_config",
     "predict_dirty_epochs",
     "resolve_backend",
+    "run_epoch_columnar",
     "run_epoch_incremental",
     "run_epoch_job",
     "run_first_phase_incremental",
     "run_first_phase_parallel",
     "run_first_phase_reference",
+    "run_first_phase_vectorized",
     "stall_error",
     "usable_cpu_count",
     "validate_backend",

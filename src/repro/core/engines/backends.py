@@ -154,6 +154,14 @@ class EpochJob:
     mis_oracle: MISOracle
     primed_alpha: Dict[DemandId, float]
     primed_beta: Dict[EdgeKey, float]
+    #: Which epoch kernel executes the job: ``"incremental"`` (the dict
+    #: loop) or ``"vectorized"`` (the columnar kernel).  Vectorized jobs
+    #: carry their prebuilt :class:`~repro.core.engines.columnar.ColumnarLayout`
+    #: in ``columnar`` (it pickles, so process-backend workers get it on
+    #: the wire) and leave ``index``/``adjacency`` empty -- the bucket
+    #: structure inside the block replaces both.
+    kernel: str = "incremental"
+    columnar: Optional[object] = None
 
     def sliced(self) -> "EpochJob":
         """The job with its layout cut down to the member slice.
@@ -162,6 +170,8 @@ class EpochJob:
         :class:`InstanceLayout` indexes *every* instance of the problem,
         but a job only ever reads ``layout.pi`` for its own members, so
         shipping the rest would pay pickling cost for nothing.
+        (``replace`` keeps every other field, the columnar block
+        included -- a vectorized job's block already is its wire form.)
         """
         pi = {d.instance_id: self.layout.pi[d.instance_id] for d in self.members}
         group_of = {i: self.epoch for i in pi}
@@ -189,14 +199,32 @@ class EpochOutcome:
         return (self.epoch, self.component)
 
 
+def dual_writes(local: Dict, primed: Dict) -> Dict:
+    """The entries of *local* that differ from what was primed -- one
+    epoch's dual *writes*, the unit the engine's ordered merge applies.
+    Shared by the incremental and columnar job bodies so the filtering
+    discipline (and its empty-primed fast path) lives in one place."""
+    if not primed:
+        return local
+    return {
+        k: v for k, v in local.items() if k not in primed or primed[k] != v
+    }
+
+
 def run_epoch_job(job: EpochJob) -> EpochOutcome:
     """Execute one sealed job; the worker function of every backend.
 
-    Runs the exact incremental loop body over a local dual primed with
-    the job's inherited values, then reports only the *writes* (values
-    that differ from what was primed) so the engine can merge disjoint
-    epochs without re-deriving anything.
+    Runs the job's epoch kernel -- the exact incremental loop body, or
+    the columnar kernel for ``kernel="vectorized"`` jobs -- over a local
+    dual primed with the job's inherited values, then reports only the
+    *writes* (values that differ from what was primed) so the engine
+    can merge disjoint epochs without re-deriving anything.
     """
+    if job.kernel == "vectorized":
+        # Lazy import: columnar imports from this module at import time.
+        from repro.core.engines.columnar import run_columnar_job_body
+
+        return run_columnar_job_body(job)
     members = job.members
     by_id = {d.instance_id: d for d in members}
     local = DualState(use_height_rule=job.raise_rule.use_height_rule)
@@ -210,23 +238,10 @@ def run_epoch_job(job: EpochJob) -> EpochOutcome:
         job.layout, job.raise_rule, job.thresholds, job.mis_oracle,
         events, stack, counters, order=0,
     )
-    if job.primed_alpha:
-        alpha_writes = {
-            k: v for k, v in local.alpha.items()
-            if k not in job.primed_alpha or job.primed_alpha[k] != v
-        }
-    else:
-        alpha_writes = local.alpha
-    if job.primed_beta:
-        beta_writes = {
-            k: v for k, v in local.beta.items()
-            if k not in job.primed_beta or job.primed_beta[k] != v
-        }
-    else:
-        beta_writes = local.beta
     return EpochOutcome(
         job.epoch, job.component, events, stack, counters,
-        alpha_writes, beta_writes,
+        dual_writes(local.alpha, job.primed_alpha),
+        dual_writes(local.beta, job.primed_beta),
     )
 
 

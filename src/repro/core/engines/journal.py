@@ -266,6 +266,11 @@ class FirstPhaseJournal:
         self.journal.decomps[dkey] = decomp
         self.journal.layered[lkey] = layered
 
+    def record_layered(self, lkey: Tuple, layered) -> None:
+        """Record one layered decomposition alone -- the line-network
+        path, which has no tree decomposition to cache alongside."""
+        self.journal.layered[lkey] = layered
+
     def begin_phase(
         self, config: Tuple, plan
     ) -> Tuple[Optional[PhaseLog], PhaseLog, Set[int]]:

@@ -81,7 +81,7 @@ from repro.core.engines.backends import (
 )
 from repro.core.plan import EpochPlan, validate_granularity
 from repro.core.types import DemandId, EdgeKey
-from repro.distributed.conflict import ConflictAdjacency
+from repro.distributed.conflict import ConflictAdjacency, build_instance_index
 from repro.distributed.mis import MISOracle
 
 __all__ = [
@@ -119,7 +119,14 @@ class ParallelEpochExecutor:
         workers: Optional[int] = None,
         backend: Optional[str] = None,
         plan_granularity: Optional[str] = None,
+        kernel: str = "incremental",
     ) -> None:
+        if kernel not in ("incremental", "vectorized"):
+            raise ValueError(
+                f"unknown epoch kernel {kernel!r}; "
+                "choose 'incremental' or 'vectorized'"
+            )
+        self.kernel = kernel
         env_resolved = backend is None
         backend_name = resolve_backend(backend)
         if workers is None:
@@ -186,6 +193,15 @@ class ParallelEpochExecutor:
         # here too would just pickle each oracle twice.
         clone_here = split and self.backend.name != "process"
         thresholds = tuple(thresholds)
+        vectorized = self.kernel == "vectorized"
+        if vectorized:
+            # Columnar jobs never consult pairwise adjacency or the
+            # reverse index -- the block's bucket structure replaces
+            # both -- so ship empty ones instead of paying to pickle
+            # the plan slices to process workers.
+            from repro.core.engines.columnar import build_columnar
+
+            empty_index = build_instance_index(())
         master = DualState(use_height_rule=raise_rule.use_height_rule)
         outcomes: Dict[Tuple[int, int], EpochOutcome] = {}
         for wave in plan.waves:
@@ -198,6 +214,8 @@ class ParallelEpochExecutor:
                     for c, (members, adjacency, index) in enumerate(
                         plan.component_slices(epoch)
                     ):
+                        if vectorized:
+                            index, adjacency = empty_index, {}
                         jobs.append(
                             EpochJob(
                                 epoch, c, members, index, adjacency, layout,
@@ -205,14 +223,25 @@ class ParallelEpochExecutor:
                                 _clone_oracle(mis_oracle) if clone_here
                                 else mis_oracle,
                                 primed_alpha, primed_beta,
+                                kernel=self.kernel,
+                                columnar=build_columnar(
+                                    epoch, members, layout, raise_rule
+                                ) if vectorized else None,
                             )
                         )
                 else:
+                    members = plan.members[epoch]
                     jobs.append(
                         EpochJob(
-                            epoch, 0, plan.members[epoch], plan.index[epoch],
-                            plan.adjacency[epoch], layout, raise_rule,
+                            epoch, 0, members,
+                            empty_index if vectorized else plan.index[epoch],
+                            {} if vectorized else plan.adjacency[epoch],
+                            layout, raise_rule,
                             thresholds, mis_oracle, primed_alpha, primed_beta,
+                            kernel=self.kernel,
+                            columnar=build_columnar(
+                                epoch, members, layout, raise_rule
+                            ) if vectorized else None,
                         )
                     )
             if not jobs:

@@ -22,7 +22,7 @@ Engines
 -------
 
 This module is the stable facade over the engine implementations in
-:mod:`repro.core.engines`; three interchangeable first-phase engines sit
+:mod:`repro.core.engines`; four interchangeable first-phase engines sit
 behind the ``engine=`` switch of :func:`run_two_phase` /
 :func:`run_first_phase`:
 
@@ -60,6 +60,18 @@ behind the ``engine=`` switch of :func:`run_two_phase` /
   component structure predicts a win
   (:meth:`repro.core.plan.EpochPlan.recommend_split`), staying strict
   -- bit-identical included -- otherwise.
+* ``engine="vectorized"`` -- the array-native columnar kernel
+  (:mod:`repro.core.engines.columnar`): the whole phase is re-encoded
+  once into numpy struct-of-arrays blocks (CSR path/critical-edge
+  columns, conflict *buckets* instead of pairwise adjacency) and every
+  per-step operation -- tau-satisfaction, MIS, dual raises, dirty-set
+  recomputation -- runs as vectorized kernels over persistent float64
+  dual arrays, committing back to dict form at each epoch boundary.
+  Serial by default; ``workers=`` / ``backend=`` route it through the
+  parallel executor with the columnar kernel executing each epoch job
+  (``kernel="vectorized"``).  Bit-identical to ``incremental`` for the
+  bundled raise rules and MIS oracles; custom rules/oracles fall back
+  to an exact shadow mode.
 
 All engines -- and all parallel backends -- produce bit-identical
 artifacts (solutions, raise events, stacks, schedule counters) for the
@@ -69,7 +81,9 @@ suites in ``tests/test_engine_equivalence.py`` and
 exposes ``satisfaction_checks`` and ``adjacency_touches`` so the
 asymptotic win is measurable (see
 ``benchmarks/bench_e16_engine_scaling.py`` and
-``benchmarks/bench_e17_parallel_epochs.py``).
+``benchmarks/bench_e17_parallel_epochs.py``;
+``benchmarks/bench_e21_vectorized_kernel.py`` times the columnar
+kernel against the incremental engine).
 """
 from __future__ import annotations
 
@@ -86,6 +100,7 @@ from repro.core.engines import (
     run_first_phase_incremental,
     run_first_phase_parallel,
     run_first_phase_reference,
+    run_first_phase_vectorized,
 )
 from repro.core.engines import validate_backend as _validate_backend_name
 from repro.core.engines.journal import active_journal
@@ -97,7 +112,7 @@ from repro.distributed.conflict import ConflictAdjacency, build_conflict_graph
 from repro.distributed.mis import MISOracle, make_mis_oracle
 
 #: The interchangeable first-phase engines (see the module docstring).
-ENGINES = ("reference", "incremental", "parallel")
+ENGINES = ("reference", "incremental", "parallel", "vectorized")
 
 
 def validate_engine(engine: str) -> str:
@@ -208,6 +223,15 @@ def run_first_phase(
             conflict_adj=conflict_adj, workers=workers, backend=backend,
             plan_granularity=plan_granularity,
         )
+    if engine == "vectorized":
+        # The columnar kernel's bucket structure replaces both the
+        # global conflict graph and (on the serial fast path) the epoch
+        # plan, so neither is built here.
+        return run_first_phase_vectorized(
+            instances, layout, raise_rule, thresholds, mis_oracle,
+            conflict_adj=conflict_adj, workers=workers, backend=backend,
+            plan_granularity=plan_granularity,
+        )
     for knob, value in (
         ("workers", workers),
         ("backend", backend),
@@ -215,7 +239,8 @@ def run_first_phase(
     ):
         if value is not None:
             raise ValueError(
-                f"{knob}= applies only to engine='parallel', not {engine!r}"
+                f"{knob}= applies only to engine='parallel' or "
+                f"'vectorized', not {engine!r}"
             )
     if conflict_adj is None and not (
         engine == "incremental" and active_journal() is not None
@@ -259,11 +284,11 @@ def run_two_phase(
 
     ``mis`` selects the oracle (``'luby'``, ``'hash'`` or ``'greedy'``);
     ``seed`` makes randomized runs reproducible; ``engine`` selects the
-    first-phase implementation (``'reference'``, ``'incremental'`` or
-    ``'parallel'``, equivalent by construction -- see the module
-    docstring); ``workers``, ``backend`` and ``plan_granularity``
-    configure the parallel engine's pool, execution substrate and
-    planner mode.
+    first-phase implementation (``'reference'``, ``'incremental'``,
+    ``'parallel'`` or ``'vectorized'``, equivalent by construction --
+    see the module docstring); ``workers``, ``backend`` and
+    ``plan_granularity`` configure the pooled engines' (parallel,
+    vectorized) pool, execution substrate and planner mode.
     """
     oracle = make_mis_oracle(mis, seed)
     dual, stack, events, counters = run_first_phase(

@@ -167,13 +167,13 @@ class LubyOracle:
         self.seed = seed
         self._rngs: Dict[int, random.Random] = {}
 
-    def __call__(
-        self,
-        candidates: Sequence[DemandInstance],
-        adjacency: ConflictAdjacency,
-        context: Optional[StepContext] = None,
-    ) -> Tuple[Set[InstanceId], int]:
-        epoch = context[0] if context is not None else 0
+    def substream(self, epoch: int) -> random.Random:
+        """The (lazily created) RNG substream of *epoch*.
+
+        Public so the columnar engine can draw the identical priority
+        sequence for an epoch without going through the dict-based
+        ``__call__`` path.
+        """
         rng = self._rngs.get(epoch)
         if rng is None:
             # dict.setdefault is atomic under the GIL, and an epoch
@@ -181,7 +181,16 @@ class LubyOracle:
             rng = self._rngs.setdefault(
                 epoch, random.Random(luby_substream_seed(self.seed, epoch))
             )
-        return luby_mis(candidates, adjacency, rng)
+        return rng
+
+    def __call__(
+        self,
+        candidates: Sequence[DemandInstance],
+        adjacency: ConflictAdjacency,
+        context: Optional[StepContext] = None,
+    ) -> Tuple[Set[InstanceId], int]:
+        epoch = context[0] if context is not None else 0
+        return luby_mis(candidates, adjacency, self.substream(epoch))
 
 
 class HashLubyOracle:

@@ -239,7 +239,7 @@ class SolveKnobs:
             raise ValueError(
                 f"capacity_epoch must be >= 0, got {self.capacity_epoch}"
             )
-        if self.engine != "parallel":
+        if self.engine not in ("parallel", "vectorized"):
             for knob, value in (
                 ("workers", self.workers),
                 ("backend", self.backend),
@@ -247,21 +247,24 @@ class SolveKnobs:
             ):
                 if value is not None:
                     raise ValueError(
-                        f"{knob}= applies only to engine='parallel', "
-                        f"not {self.engine!r}"
+                        f"{knob}= applies only to engine='parallel' or "
+                        f"'vectorized', not {self.engine!r}"
                     )
         return self
 
     def canonical_form(self) -> Tuple:
         """The key-relevant knobs as a tuple.
 
-        Assumes :meth:`validate` passed: the parallel-only knob slots
+        Assumes :meth:`validate` passed: the executor knob slots
         normalize to ``None`` for the serial engines, and
         ``backend=None`` resolves through the environment exactly as
         the engine would, so a run keyed under ``REPRO_BACKEND=process``
-        cannot alias one keyed under the thread default.
+        cannot alias one keyed under the thread default.  The
+        vectorized engine keys like the parallel one: its executor
+        knobs route it through the same plan/execute/merge machinery
+        (``kernel="vectorized"``), granularity contract included.
         """
-        if self.engine == "parallel":
+        if self.engine in ("parallel", "vectorized"):
             backend: Optional[str] = resolve_backend(self.backend)
             granularity: Optional[str] = self.plan_granularity or "epoch"
         else:

@@ -237,6 +237,14 @@ class SchedulingService:
         self._delta_index: Dict[str, "OrderedDict[str, Fingerprint]"] = {}
         self._delta_requests = 0
         self._delta_outcomes: Dict[str, int] = {o: 0 for o in DELTA_OUTCOMES}
+        #: Numeric DeltaStats counters summed over every delta request
+        #: (warm and fallback alike), so operators can read replay
+        #: effectiveness off one ``stats`` call instead of sampling
+        #: per-request results.
+        self._delta_totals: Dict[str, int] = {
+            k: 0 for k in DeltaStats(outcome="warm").snapshot()
+            if k not in ("outcome", "ancestor")
+        }
 
     # ------------------------------------------------------------------
     # Submission API
@@ -556,9 +564,12 @@ class SchedulingService:
     ) -> None:
         try:
             report, stats = self._delta_solve(request, fp)
+            snapshot = stats.snapshot()
             with self._lock:
                 self._delta_requests += 1
                 self._delta_outcomes[stats.outcome] += 1
+                for k in self._delta_totals:
+                    self._delta_totals[k] += snapshot[k]
             fut.set_result(
                 ServiceResult(
                     report=report,
@@ -747,5 +758,6 @@ class SchedulingService:
                 "cache": self.cache.stats.snapshot(),
                 "delta_requests": self._delta_requests,
                 "delta_outcomes": dict(self._delta_outcomes),
+                "delta_totals": dict(self._delta_totals),
                 "ancestor_buckets": len(self._delta_index),
             }

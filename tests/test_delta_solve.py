@@ -176,6 +176,43 @@ class TestTrajectoryDriver:
             s.epochs_replayed + s.epochs_rerun > 0 and s.ancestor for s in warm
         )
 
+    def test_line_layout_cache_reused_on_warm_replay(self):
+        # line_layouts consults the journal's content-keyed layout cache
+        # exactly like tree_layouts: demand churn local to one
+        # line-network must not rebuild the layered decomposition of the
+        # other.  (The registry line workloads give every demand access
+        # to every network, so a hand-rolled access split is needed to
+        # leave one network untouched.)
+        from repro.core.demand import WindowDemand
+        from repro.trees.tree import make_line_network
+
+        demands = [
+            WindowDemand(i, 0, 7, 3, profit=1.0 + i, height=0.5)
+            for i in range(8)
+        ]
+        problem = Problem(
+            networks={0: make_line_network(0, 8), 1: make_line_network(1, 8)},
+            demands=demands,
+            access={i: (i % 2,) for i in range(8)},
+        )
+        svc = service()
+        knobs = SolveKnobs(**KNOBS)
+        svc.solve(request(problem, knobs))
+        mutated = Problem(
+            networks=problem.networks,
+            demands=[replace(demands[0], profit=99.5)] + demands[1:],
+            access=dict(problem.access),
+        )
+        result = svc.solve_delta(request(mutated, knobs))
+        assert result.delta is not None and result.delta.outcome == "warm"
+        assert result.delta.layouts_reused > 0, (
+            "the untouched line-network's layered decomposition must "
+            "come from the journal layout cache"
+        )
+        assert report_semantic_digest(result.report) == cold_digest(
+            mutated, knobs
+        )
+
 
 class TestDecisionArms:
     def test_exact_resubmission_is_a_hit_not_a_replay(self):
@@ -535,3 +572,42 @@ class TestWireOp:
             SolveKnobs(**KNOBS, seed=2),
         )
         assert first["semantic_digest"] == expected
+
+    def test_stats_op_surfaces_delta_totals(self):
+        """``{"op": "stats"}`` must carry the accumulated DeltaStats
+        counters, so replay effectiveness is readable off the wire."""
+        problem = build_workload("multi-tenant-forest", 16, seed=2)
+        mutated = Problem(
+            networks=problem.networks,
+            demands=[replace(problem.demands[0], profit=99.5)]
+            + list(problem.demands[1:]),
+            access=dict(problem.access),
+        )
+
+        async def run():
+            front = AsyncSchedulingService(service=service())
+            host, port = await front.serve()
+            await front.solve_delta(request(problem))  # seeds the index
+            warm = await front.solve_delta(request(mutated))
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(json.dumps({"id": 9, "op": "stats"}).encode() + b"\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            await front.drain()
+            return warm, response
+
+        warm, response = asyncio.run(run())
+        assert warm.delta is not None and warm.delta.outcome == "warm"
+        svc_stats = response["stats"]["service"]
+        totals = svc_stats["delta_totals"]
+        snapshot = warm.delta.snapshot()
+        for key in (
+            "phases", "epochs_replayed", "epochs_rerun", "predicted_dirty",
+            "prediction_misses", "layouts_reused", "touched_demands",
+            "touched_edges",
+        ):
+            assert totals[key] >= snapshot[key], key
+        assert totals["phases"] >= 1, "the warm replay must be counted"
+        assert svc_stats["delta_outcomes"]["warm"] >= 1

@@ -1,19 +1,21 @@
 """Golden equivalence of the first-phase engines.
 
-The incremental dirty-set engine and the parallel plan/execute/merge
-engine must be *bit-identical* to the reference Figure 7 loop -- not
-merely "as good": the same solution ids, the same raise events in the
-same order with the same deltas, the same stack shape and schedule
-counters, and the same final dual assignment -- for every algorithm,
-every MIS oracle, the paper's worked examples, and seeded random-suite
-workloads.  Any divergence means the dirty-set propagation missed an
-affected instance (or invented one, desynching a Luby RNG substream),
-or that the epoch plan let interacting epochs run out of order.
+The incremental dirty-set engine, the parallel plan/execute/merge
+engine and the vectorized columnar kernel must be *bit-identical* to
+the reference Figure 7 loop -- not merely "as good": the same solution
+ids, the same raise events in the same order with the same deltas, the
+same stack shape and schedule counters, and the same final dual
+assignment -- for every algorithm, every MIS oracle, the paper's
+worked examples, and seeded random-suite workloads.  Any divergence
+means the dirty-set propagation missed an affected instance (or
+invented one, desynching a Luby RNG substream), that the epoch plan
+let interacting epochs run out of order, or that the columnar kernel's
+float schedule drifted from the dict engine's association order.
 
-Every case in this suite runs all three engines: ``both_engines``
-asserts the parallel engine (2 workers) against the incremental one
-inline and returns the (reference, incremental) pair for the caller's
-own comparison.
+Every case in this suite runs all four engines: ``both_engines``
+asserts the parallel engine (2 workers) and the vectorized kernel
+against the incremental one inline and returns the (reference,
+incremental) pair for the caller's own comparison.
 """
 import pytest
 
@@ -75,11 +77,14 @@ def assert_reports_identical(ref, inc):
 
 
 def both_engines(solver, problem, **kwargs):
-    """Run all engines; parallel is asserted against incremental here."""
+    """Run all engines; parallel and vectorized are asserted against
+    incremental here."""
     ref = solver(problem, engine="reference", **kwargs)
     inc = solver(problem, engine="incremental", **kwargs)
     par = solver(problem, engine="parallel", workers=2, **kwargs)
+    vec = solver(problem, engine="vectorized", **kwargs)
     assert_reports_identical(inc, par)
+    assert_reports_identical(inc, vec)
     return ref, inc
 
 

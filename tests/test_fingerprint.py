@@ -224,6 +224,22 @@ class TestSolveKnobs:
         )
         assert process_fp == explicit
 
+    def test_vectorized_accepts_executor_knobs(self):
+        # The vectorized engine routes workers=/backend=/plan_granularity=
+        # through the parallel executor, so it validates and keys like
+        # engine='parallel': workers stays an execution hint, the other
+        # knobs resolve into the key.
+        problem = build_workload("bursty-lines", 10, seed=0)
+        SolveKnobs(engine="vectorized", workers=2, backend="process").validate()
+        a = solve_fingerprint(problem, SolveKnobs(engine="vectorized", workers=2))
+        b = solve_fingerprint(problem, SolveKnobs(engine="vectorized", workers=8))
+        assert a == b
+        assert a != solve_fingerprint(
+            problem, SolveKnobs(engine="vectorized", backend="process")
+        )
+        with pytest.raises(ValueError, match="vectorized"):
+            SolveKnobs(engine="incremental", backend="process").validate()
+
 
 class TestCanonicalBytes:
     def test_types_are_distinguished(self):
