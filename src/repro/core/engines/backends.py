@@ -406,6 +406,29 @@ def shutdown_pools(wait: bool = True) -> int:
 atexit.register(shutdown_pools)
 
 
+def _forget_pools_in_child() -> None:
+    """Clear the warm-pool registries in a freshly forked child.
+
+    Fork copies the registry dicts but not the pool *threads* (only the
+    forking thread survives in the child), so an inherited executor is
+    a zombie: submitting to it enqueues work no thread will ever run,
+    and the first solve in a forked shard worker would deadlock on a
+    future that never resolves.  Clearing -- not shutting down: there
+    are no threads to join, and ``shutdown`` would try -- makes the
+    child re-warm its own pools on first use.  Registered via
+    ``os.register_at_fork``, so every fork path is covered: the shard
+    workers of :mod:`repro.service.shard`, the process backend's own
+    workers (which never touch pools, but harmlessly get clean state),
+    and any user ``multiprocessing`` on top of the library.
+    """
+    for pools in (_THREAD_POOLS, _PROCESS_POOLS, _SERVICE_POOLS):
+        pools.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_forget_pools_in_child)
+
+
 def _mp_context():
     """Fork on Linux only: child start-up is milliseconds and scripts
     run as ``__main__`` need no re-import.  macOS nominally supports

@@ -6,11 +6,14 @@ two-tier verified result cache with TTL/invalidation
 (:mod:`repro.service.cache`), a coalescing, batching
 :class:`SchedulingService` (:mod:`repro.service.server`), and an
 asyncio front door with a JSON-over-TCP endpoint
-(:mod:`repro.service.async_front`), and the delta-solve ingredients --
+(:mod:`repro.service.async_front`), the delta-solve ingredients --
 sketches, problem diffs, change-storm debouncing
-(:mod:`repro.service.delta`).  See the "Serving" section of README.md.
+(:mod:`repro.service.delta`), schedule-diff egress
+(:mod:`repro.service.diff`), and a sharded tier -- consistent-hash
+router over forked shard workers (:mod:`repro.service.shard`).  See
+the "Serving" section of README.md.
 """
-from repro.service.async_front import AsyncSchedulingService
+from repro.service.async_front import AsyncSchedulingService, jsonable
 from repro.service.cache import (
     CacheEntry,
     CacheIntegrityError,
@@ -29,6 +32,17 @@ from repro.service.delta import (
     diff_problems,
     problem_sketch,
 )
+from repro.service.diff import (
+    DeltaSyncError,
+    ScheduleDelta,
+    ScheduleFollower,
+    SchedulePusher,
+    apply_delta,
+    diff_tables,
+    normalize_table,
+    schedule_table,
+    table_digest,
+)
 from repro.service.fingerprint import (
     Fingerprint,
     SolveKnobs,
@@ -42,6 +56,12 @@ from repro.service.server import (
     ServiceResult,
     SolveRequest,
 )
+from repro.service.shard import (
+    HashRing,
+    ShardCluster,
+    ShardRouter,
+    ShardUnavailable,
+)
 
 __all__ = [
     "AsyncSchedulingService",
@@ -52,19 +72,33 @@ __all__ = [
     "DELTA_OUTCOMES",
     "DeltaArtifacts",
     "DeltaStats",
+    "DeltaSyncError",
     "Fingerprint",
+    "HashRing",
     "ProblemDelta",
     "ResultCache",
+    "ScheduleDelta",
+    "ScheduleFollower",
+    "SchedulePusher",
     "SchedulingService",
     "ServiceError",
     "ServiceResult",
+    "ShardCluster",
+    "ShardRouter",
+    "ShardUnavailable",
     "SolveKnobs",
     "SolveRequest",
     "TOO_DIRTY_FRACTION",
+    "apply_delta",
     "delta_key",
     "diff_problems",
+    "diff_tables",
+    "jsonable",
+    "normalize_table",
     "problem_canonical_form",
     "problem_fingerprint",
     "report_semantic_digest",
+    "schedule_table",
     "solve_fingerprint",
+    "table_digest",
 ]

@@ -62,6 +62,22 @@ request's optional ``id``)::
         "delta": {"outcome": "warm", ...}, "superseded": false, ...}
     -> {"op": "stats"}
     <- {"ok": true, "stats": {...}}
+    -> {"op": "invalidate", "epoch_below": 3, "id": 9}
+    <- {"ok": true, "id": 9, "dropped": 17}
+
+Three optional request fields extend the solve ops without changing
+the line discipline.  ``"trajectory": name`` (with ``"step": k``)
+requests snapshot *k* of a registered churn trajectory instead of a
+registry workload -- the wire face of the delta-solve path.
+``"table": true`` adds the served *schedule table* (one
+``[instance_id, demand_id, network_id, profit, height]`` cell per
+selected instance, plus its digest) to the response.  ``"sub": key``
+subscribes this connection to delta-push egress under *key*: the
+response carries a ``"push"`` payload that is a full table on first
+contact (or with ``"full_sync": true``) and only the
+:class:`~repro.service.diff.ScheduleDelta` add/remove cells afterwards
+-- O(changed cells) on the wire, digest-verified on both ends (see
+:mod:`repro.service.diff`).
 
 ``semantic_digest`` is the served report's
 :func:`~repro.service.cache.report_semantic_digest`, so a remote
@@ -83,6 +99,7 @@ from repro.core.engines.backends import shutdown_pools
 from repro.core.problem import Problem
 from repro.service.cache import report_semantic_digest
 from repro.service.delta import ChangeDebouncer, delta_key
+from repro.service.diff import SchedulePusher, schedule_table, table_digest
 from repro.service.fingerprint import SolveKnobs
 from repro.service.server import (
     SchedulingService,
@@ -90,12 +107,36 @@ from repro.service.server import (
     ServiceResult,
     SolveRequest,
 )
+from repro.workloads.trajectories import build_trajectory
 
-__all__ = ["AsyncSchedulingService"]
+__all__ = ["AsyncSchedulingService", "jsonable"]
 
 #: Per-line buffer limit of the TCP endpoint (asyncio's default 64 KiB
 #: is small for a request carrying a large knobs object).
 WIRE_LINE_LIMIT = 1 << 20
+
+
+def jsonable(value):
+    """*value* coerced into strictly JSON-serializable form.
+
+    The stats surface aggregates counters from every layer of the
+    service; one layer growing a non-serializable stat (an Enum, a
+    dataclass, a numpy scalar) must degrade that *one* value to its
+    ``repr``, not start answering the whole ``{"op": "stats"}`` wire op
+    with ``ok:false``.  Dicts and sequences recurse; scalars pass
+    through; everything else -- including non-string dict keys, which
+    ``json.dumps`` rejects for tuples -- becomes a string.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {
+            k if isinstance(k, str) else repr(k): jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return repr(value)
 
 
 class AsyncSchedulingService:
@@ -330,6 +371,7 @@ class AsyncSchedulingService:
         """
         self._writers.add(writer)
         write_lock = asyncio.Lock()
+        pusher = SchedulePusher()
         pending: Set[asyncio.Task] = set()
         try:
             while True:
@@ -359,7 +401,7 @@ class AsyncSchedulingService:
                 if not line:
                     continue
                 task = asyncio.ensure_future(
-                    self._serve_line(line, writer, write_lock)
+                    self._serve_line(line, writer, write_lock, pusher)
                 )
                 for registry in (pending, self._request_tasks):
                     registry.add(task)
@@ -379,23 +421,50 @@ class AsyncSchedulingService:
         line: bytes,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
+        pusher: Optional[SchedulePusher] = None,
     ) -> None:
-        response = await self._dispatch_wire(line)
-        await self._write_response(writer, write_lock, response)
+        response = await self._dispatch_wire(line, pusher)
+        await self._write_response(writer, write_lock, response, pusher)
 
-    @staticmethod
     async def _write_response(
+        self,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         response: dict,
+        pusher: Optional[SchedulePusher] = None,
     ) -> None:
+        """Write one response line; delta-push payloads materialize here.
+
+        A subscribed response carries a private ``_push`` marker from
+        :meth:`_dispatch_wire`; the actual diff runs *under the write
+        lock* so the pusher's per-subscription base-table chain matches
+        the order responses hit the wire (pipelined same-key requests
+        would otherwise interleave state updates and writes).  The diff
+        itself runs on the admission pool -- ``SequenceMatcher`` over a
+        large table is exactly the blocking work the loop must not do.
+        """
+        push_spec = response.pop("_push", None)
         async with write_lock:
             if writer.is_closing():
                 return
+            if push_spec is not None and pusher is not None:
+                sub, table, full_sync = push_spec
+                loop = asyncio.get_running_loop()
+                try:
+                    response["push"] = await loop.run_in_executor(
+                        self._admission(), pusher.push, sub, table, full_sync
+                    )
+                except Exception as exc:  # defensive: never kill the line
+                    response["push"] = {
+                        "mode": "error",
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
             writer.write(json.dumps(response).encode("utf-8") + b"\n")
             await writer.drain()
 
-    async def _dispatch_wire(self, line: bytes) -> dict:
+    async def _dispatch_wire(
+        self, line: bytes, pusher: Optional[SchedulePusher] = None
+    ) -> dict:
         """One wire request -> one response dict; never raises."""
         req_id = None
         try:
@@ -405,9 +474,14 @@ class AsyncSchedulingService:
             req_id = message.get("id")
             op = message.get("op")
             if op == "stats":
-                return {"ok": True, "id": req_id, "stats": self.stats}
+                return {"ok": True, "id": req_id, "stats": jsonable(self.stats)}
+            if op == "invalidate":
+                return await self._wire_invalidate(message, req_id)
             if op not in (None, "solve", "solve_delta"):
                 raise ValueError(f"unknown op {op!r}")
+            sub = message.get("sub")
+            if sub is not None and not isinstance(sub, str):
+                raise ValueError("sub must be a string subscription key")
             request = self._wire_request(message)
             if op == "solve_delta":
                 result = await self.solve_delta(request)
@@ -428,6 +502,20 @@ class AsyncSchedulingService:
                     result.delta.snapshot() if result.delta is not None else None
                 )
                 response["superseded"] = result.superseded
+            if sub is not None or message.get("table"):
+                loop = asyncio.get_running_loop()
+                table = await loop.run_in_executor(
+                    self._admission(), schedule_table, result.report
+                )
+                if message.get("table"):
+                    response["table"] = [list(c) for c in table]
+                    response["table_digest"] = await loop.run_in_executor(
+                        self._admission(), table_digest, table
+                    )
+                if sub is not None and pusher is not None:
+                    response["_push"] = (
+                        sub, table, bool(message.get("full_sync"))
+                    )
             return response
         except Exception as exc:
             return {
@@ -435,6 +523,23 @@ class AsyncSchedulingService:
                 "id": req_id,
                 "error": f"{type(exc).__name__}: {exc}",
             }
+
+    async def _wire_invalidate(self, message: dict, req_id) -> dict:
+        """The ``invalidate`` wire op: bulk-drop below a capacity epoch.
+
+        Runs on the admission pool -- the disk sweep unpickles every
+        file in the tier, blocking work by construction.  The shard
+        router fans this op out to every shard.
+        """
+        if "epoch_below" not in message:
+            raise ValueError("invalidate requires an epoch_below field")
+        epoch_below = int(message["epoch_below"])
+        loop = asyncio.get_running_loop()
+        dropped = await loop.run_in_executor(
+            self._admission(),
+            lambda: self.service.invalidate(epoch_below=epoch_below),
+        )
+        return {"ok": True, "id": req_id, "dropped": dropped}
 
     async def _response_digest(self, result: ServiceResult) -> str:
         """The served report's semantic digest, cheaply.
@@ -459,9 +564,19 @@ class AsyncSchedulingService:
 
     @staticmethod
     def _wire_request(message: dict) -> SolveRequest:
-        """Decode a wire message into a registry-workload request."""
+        """Decode a wire message into a solve request.
+
+        Two problem sources, mutually exclusive: ``"workload"`` names a
+        registry workload; ``"trajectory"`` (with ``"step": k``) names a
+        registered churn trajectory and requests its *k*-th snapshot.
+        Trajectories are prefix-stable -- snapshot ``k`` of
+        ``build_trajectory(name, size, seed, steps=k+1)`` is the same
+        problem regardless of how many further steps exist -- so the
+        wire face stays a pure value: no server-side trajectory state.
+        """
+        if "workload" in message and "trajectory" in message:
+            raise ValueError("pass workload or trajectory, not both")
         try:
-            name = message["workload"]
             size = int(message["size"])
         except KeyError as exc:
             raise ValueError(f"request is missing field {exc}") from exc
@@ -469,6 +584,24 @@ class AsyncSchedulingService:
         knobs = message.get("knobs") or {}
         if not isinstance(knobs, dict):
             raise ValueError("knobs must be a JSON object of SolveKnobs fields")
+        if "trajectory" in message:
+            name = message["trajectory"]
+            step = int(message.get("step", 0))
+            if step < 0:
+                raise ValueError(f"step must be >= 0, got {step}")
+            knobs.setdefault("seed", seed)
+            snapshot = build_trajectory(
+                name, size, seed=seed, steps=step + 1
+            )[step]
+            return SolveRequest(
+                problem=snapshot.problem,
+                knobs=SolveKnobs(**knobs),
+                label=f"{name}@{size}#{seed}/{step}",
+            )
+        try:
+            name = message["workload"]
+        except KeyError as exc:
+            raise ValueError(f"request is missing field {exc}") from exc
         return SolveRequest.from_workload(name, size, seed=seed, **knobs)
 
     # ------------------------------------------------------------------

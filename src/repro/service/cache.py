@@ -390,8 +390,14 @@ class ResultCache:
         Exactly one selector: a single *fingerprint*, an arbitrary
         *predicate* over :class:`CacheEntry`, or ``epoch_below=n`` --
         the mutable-capacity bulk form, dropping every entry whose
-        capacity-epoch tag is ``< n`` while unrelated (current-epoch,
-        untagged-but-current) entries stay warm.  Predicate and epoch
+        capacity-epoch tag is ``< n`` while current-epoch entries stay
+        warm.  An entry with *no* epoch tag at all (pickled by a
+        pre-epoch version of this cache) counts as generation 0 and is
+        therefore swept by any ``epoch_below >= 1`` -- deliberately:
+        an entry of unknown generation must not outlive a bulk
+        invalidation that was issued precisely because old generations
+        are no longer trustworthy.  (``epoch_below=0`` drops nothing,
+        on any entry: no generation is below zero.)  Predicate and epoch
         selectors scan the disk directory, unpickling each file; the
         single-fingerprint form unlinks its file directly.  Unreadable
         disk files are left alone -- a later lookup degrades them to a
@@ -418,6 +424,10 @@ class ResultCache:
         if fingerprint is not None:
             return lambda entry: entry.fingerprint == fingerprint.digest
         if epoch_below is not None:
+            # ``getattr`` default 0: an epoch-less entry (pre-epoch
+            # pickle) is generation 0 by definition, so every
+            # ``epoch_below >= 1`` sweep drops it -- the conservative
+            # reading, pinned by tests/test_cache_ttl.py.
             return lambda entry: getattr(entry, "epoch", 0) < epoch_below
         return predicate
 

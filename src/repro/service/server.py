@@ -240,11 +240,22 @@ class SchedulingService:
         #: Numeric DeltaStats counters summed over every delta request
         #: (warm and fallback alike), so operators can read replay
         #: effectiveness off one ``stats`` call instead of sampling
-        #: per-request results.
+        #: per-request results.  Seeded from a snapshot's numeric keys
+        #: so the counters read zero before any delta traffic, but the
+        #: accumulation in :meth:`_solve_delta_into` iterates the live
+        #: snapshot -- a counter added to ``DeltaStats`` later still
+        #: shows up in ``stats["delta_totals"]``.
         self._delta_totals: Dict[str, int] = {
-            k: 0 for k in DeltaStats(outcome="warm").snapshot()
-            if k not in ("outcome", "ancestor")
+            k: 0 for k, v in DeltaStats(outcome="warm").snapshot().items()
+            if self._is_total(v)
         }
+
+    @staticmethod
+    def _is_total(value) -> bool:
+        """Whether a ``DeltaStats.snapshot()`` value is a summable
+        counter (labels like ``outcome``/``ancestor`` are not; neither
+        are booleans, which are ints to ``isinstance``)."""
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
 
     # ------------------------------------------------------------------
     # Submission API
@@ -568,8 +579,13 @@ class SchedulingService:
             with self._lock:
                 self._delta_requests += 1
                 self._delta_outcomes[stats.outcome] += 1
-                for k in self._delta_totals:
-                    self._delta_totals[k] += snapshot[k]
+                # Iterate the *snapshot*, not the totals dict: a counter
+                # later added to DeltaStats.snapshot() must start
+                # accumulating here, not be silently dropped because the
+                # totals were seeded from an older key set.
+                for k, v in snapshot.items():
+                    if self._is_total(v):
+                        self._delta_totals[k] = self._delta_totals.get(k, 0) + v
             fut.set_result(
                 ServiceResult(
                     report=report,

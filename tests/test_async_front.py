@@ -259,6 +259,261 @@ class TestWireProtocol:
         asyncio.run(run())
 
 
+class TestStatsAndInvalidateWire:
+    def test_stats_round_trips_a_future_non_serializable_counter(self):
+        # The regression: one layer growing a non-JSON stat (an object,
+        # an Enum, a numpy scalar) must degrade that value to its repr,
+        # not flip the whole {"op": "stats"} answer to ok:false.  Real
+        # socket, not a direct stats-property peek -- the bug lives in
+        # the json.dumps on the wire path.
+        async def run():
+            front = AsyncSchedulingService(capacity=8, workers=2)
+            front.service._delta_totals["future_stat"] = object()
+            host, port = await front.serve()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(json.dumps({"id": 1, "op": "stats"}).encode() + b"\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            await front.drain()
+            return response
+
+        response = asyncio.run(run())
+        assert response["ok"], "stats must answer despite the bad counter"
+        bogus = response["stats"]["service"]["delta_totals"]["future_stat"]
+        assert isinstance(bogus, str) and "object" in bogus
+        assert response["stats"]["service"]["requests"] == 0
+
+    def test_invalidate_op_sweeps_and_validates(self):
+        async def run():
+            front = AsyncSchedulingService(capacity=8, workers=2)
+            host, port = await front.serve()
+            reader, writer = await asyncio.open_connection(host, port)
+            lines = [
+                {"id": 1, "workload": "bursty-lines", "size": 14, "seed": 1,
+                 "knobs": KNOBS},
+                {"id": 2, "op": "invalidate", "epoch_below": 1},
+                {"id": 3, "workload": "bursty-lines", "size": 14, "seed": 1,
+                 "knobs": KNOBS},
+                {"id": 4, "op": "invalidate"},  # missing epoch_below
+            ]
+            responses = []
+            for line in lines:  # sequential: order matters here
+                writer.write(json.dumps(line).encode() + b"\n")
+                await writer.drain()
+                responses.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            await front.drain()
+            return {r["id"]: r for r in responses}
+
+        by_id = asyncio.run(run())
+        assert by_id[1]["ok"] and by_id[1]["status"] == "miss"
+        assert by_id[2]["ok"] and by_id[2]["dropped"] >= 1
+        assert by_id[3]["ok"] and by_id[3]["status"] == "miss", (
+            "a swept entry must re-solve, not serve stale"
+        )
+        assert not by_id[4]["ok"] and "epoch_below" in by_id[4]["error"]
+
+
+class TestDeltaPushWire:
+    def test_subscription_pushes_full_then_delta(self):
+        from repro.service import ScheduleFollower, schedule_table, table_digest
+        from repro.workloads import build_trajectory
+
+        steps = build_trajectory("churn-lines", 16, seed=3, steps=2)
+
+        async def run():
+            front = AsyncSchedulingService(capacity=8, workers=2)
+            host, port = await front.serve()
+            reader, writer = await asyncio.open_connection(host, port)
+            responses = []
+            for k in range(2):
+                writer.write(json.dumps({
+                    "id": k, "trajectory": "churn-lines", "size": 16,
+                    "seed": 3, "step": k, "knobs": KNOBS,
+                    "sub": "watch", "table": bool(k),
+                }).encode() + b"\n")
+                await writer.drain()
+                responses.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            await front.drain()
+            return responses
+
+        responses = asyncio.run(run())
+        assert all(r["ok"] for r in responses)
+        assert responses[0]["push"]["mode"] == "full"
+        assert "table" not in responses[0], "table rides only on request"
+        assert responses[1]["push"]["mode"] == "delta"
+        follower = ScheduleFollower()
+        for k, r in enumerate(responses):
+            table = follower.apply(r["push"])
+            direct = solve_auto(steps[k].problem, **{**KNOBS, "seed": 3})
+            assert table_digest(table) == table_digest(schedule_table(direct))
+        # table: true on the second request: explicit table + digest,
+        # consistent with the push chain.
+        assert responses[1]["table_digest"] == table_digest(follower.table)
+
+    def test_trajectory_requests_validate(self):
+        async def run():
+            front = AsyncSchedulingService(capacity=4, workers=2)
+            host, port = await front.serve()
+            reader, writer = await asyncio.open_connection(host, port)
+            lines = [
+                {"id": 1, "trajectory": "churn-lines",
+                 "workload": "bursty-lines", "size": 14},
+                {"id": 2, "trajectory": "churn-lines", "size": 14,
+                 "step": -1},
+                {"id": 3, "workload": "bursty-lines", "size": 14, "seed": 1,
+                 "sub": 7, "knobs": KNOBS},
+            ]
+            for line in lines:
+                writer.write(json.dumps(line).encode() + b"\n")
+            await writer.drain()
+            responses = [
+                json.loads(await reader.readline()) for _ in lines
+            ]
+            writer.close()
+            await writer.wait_closed()
+            await front.drain()
+            return {r["id"]: r for r in responses}
+
+        by_id = asyncio.run(run())
+        assert not by_id[1]["ok"] and "not both" in by_id[1]["error"]
+        assert not by_id[2]["ok"] and "step" in by_id[2]["error"]
+        assert not by_id[3]["ok"] and "sub" in by_id[3]["error"]
+
+
+class TestRoutedWireRobustness:
+    """The front door's garbage/oversize/sever guarantees, re-checked
+    through the shard router: a hostile or dying client must leave both
+    the router and the shard behind it healthy."""
+
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        from repro.service import ShardCluster
+
+        with ShardCluster(shards=1, capacity=16, workers=2) as c:
+            yield c
+
+    @staticmethod
+    async def healthy_roundtrip(reader, writer):
+        writer.write(json.dumps({
+            "id": 77, "workload": "bursty-lines", "size": 14, "seed": 1,
+            "knobs": KNOBS,
+        }).encode() + b"\n")
+        await writer.drain()
+        return json.loads(await reader.readline())
+
+    def test_oversized_line_answers_and_router_survives(self, cluster):
+        from repro.service import ShardRouter
+        from repro.service.async_front import WIRE_LINE_LIMIT
+
+        async def run():
+            router = ShardRouter(cluster.addresses)
+            host, port = await router.serve()
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=WIRE_LINE_LIMIT
+            )
+            writer.write(json.dumps({
+                "id": 1, "workload": "bursty-lines", "size": 14, "seed": 1,
+                "knobs": KNOBS,
+            }).encode() + b"\n")
+            writer.write(b"x" * (WIRE_LINE_LIMIT + 1024) + b"\n")
+            await writer.drain()
+            responses = []
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                responses.append(json.loads(line))
+            writer.close()
+            await writer.wait_closed()
+            # The offending connection is gone; a fresh one must serve.
+            reader2, writer2 = await asyncio.open_connection(host, port)
+            followup = await self.healthy_roundtrip(reader2, writer2)
+            writer2.close()
+            await writer2.wait_closed()
+            await router.aclose()
+            return responses, followup
+
+        responses, followup = asyncio.run(run())
+        by_id = {r.get("id"): r for r in responses}
+        assert by_id[1]["ok"], "the pipelined request must be answered"
+        assert not by_id[None]["ok"] and "exceeds" in by_id[None]["error"]
+        assert followup["ok"] and followup["semantic_digest"] == direct_digest()
+
+    def test_sever_mid_forward_leaves_router_and_shard_healthy(self, cluster):
+        from repro.service import ShardRouter
+
+        async def run():
+            router = ShardRouter(cluster.addresses)
+            host, port = await router.serve()
+            # Fire a cold request and slam the connection before the
+            # shard can answer: the router's relay must hit its
+            # closing-transport guard, not crash or poison the link.
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(json.dumps({
+                "id": 1, "workload": "bursty-lines", "size": 15, "seed": 4,
+                "knobs": KNOBS,
+            }).encode() + b"\n")
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            reader2, writer2 = await asyncio.open_connection(host, port)
+            followup = await self.healthy_roundtrip(reader2, writer2)
+            stats = None
+            writer2.write(json.dumps({"id": 9, "op": "stats"}).encode() + b"\n")
+            await writer2.drain()
+            stats = json.loads(await reader2.readline())
+            writer2.close()
+            await writer2.wait_closed()
+            await router.aclose()
+            return followup, stats
+
+        followup, stats = asyncio.run(run())
+        assert followup["ok"] and followup["semantic_digest"] == direct_digest()
+        assert stats["ok"] and stats["stats"]["router"]["shards_dead"] == [], (
+            "a severed client must never mark the shard dead"
+        )
+
+    def test_garbage_lines_through_router(self, cluster):
+        from repro.service import ShardRouter
+
+        async def run():
+            router = ShardRouter(cluster.addresses)
+            host, port = await router.serve()
+            reader, writer = await asyncio.open_connection(host, port)
+            lines = [
+                b"not json at all",
+                json.dumps({"id": 1, "op": "bogus"}).encode(),
+                json.dumps({"id": 2, "workload": "no-such", "size": 8}).encode(),
+                json.dumps({
+                    "id": 3, "workload": "bursty-lines", "size": 14,
+                    "seed": 1, "knobs": KNOBS,
+                }).encode(),
+            ]
+            for line in lines:
+                writer.write(line + b"\n")
+            await writer.drain()
+            responses = [
+                json.loads(await reader.readline()) for _ in lines
+            ]
+            writer.close()
+            await writer.wait_closed()
+            await router.aclose()
+            return {r.get("id"): r for r in responses}
+
+        by_id = asyncio.run(run())
+        assert not by_id[None]["ok"]
+        assert not by_id[1]["ok"] and "bogus" in by_id[1]["error"]
+        assert not by_id[2]["ok"] and "no-such" in by_id[2]["error"]
+        assert by_id[3]["ok"], "a valid request after garbage must serve"
+        assert by_id[3]["semantic_digest"] == direct_digest()
+
+
 class TestGracefulDrain:
     def test_aclose_leaves_zero_live_executors(self):
         async def run():

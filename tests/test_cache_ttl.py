@@ -168,6 +168,44 @@ class TestInvalidate:
         # Unrelated entries stayed warm in *memory* (tier-1 hits).
         assert cache.stats.hits >= 2
 
+    def test_epoch_less_memory_entry_counts_as_generation_zero(self):
+        # The pinned semantics: an entry with no epoch attribute at all
+        # (written before the field existed) is generation 0 -- swept by
+        # any epoch_below >= 1, untouched by epoch_below=0.  An unknown
+        # generation must not outlive a bulk invalidation.
+        cache = ttl_cache(FakeClock(), capacity=4)
+        cache.put(fp("legacy"), "L", epoch=2)
+        cache.put(fp("modern"), "M", epoch=2)
+        del cache.peek_entry(fp("legacy")).__dict__["epoch"]
+        assert cache.invalidate(epoch_below=0) == 0, (
+            "epoch_below=0 names no generation: nothing drops"
+        )
+        assert cache.get(fp("legacy")) == "L"
+        assert cache.invalidate(epoch_below=1) == 1
+        assert cache.get(fp("legacy")) is None, (
+            "the epoch-less entry is generation 0 and must be swept"
+        )
+        assert cache.get(fp("modern")) == "M", (
+            "the current generation must stay warm"
+        )
+        assert cache.stats.invalidations == 1
+
+    def test_epoch_less_disk_entry_counts_as_generation_zero(self, tmp_path):
+        import pickle
+
+        cache = ttl_cache(FakeClock(), capacity=1, disk_dir=str(tmp_path))
+        cache.put(fp("legacy"), "L", epoch=2)
+        cache.put(fp("evictor"), "E", epoch=2)  # legacy is now disk-only
+        path = cache._path(fp("legacy").digest)
+        entry = pickle.loads(path.read_bytes())
+        del entry.__dict__["epoch"]  # a pre-epoch pickle
+        path.write_bytes(pickle.dumps(entry))
+        assert cache.invalidate(epoch_below=0) == 0
+        assert cache.invalidate(epoch_below=1) == 1
+        assert cache.get(fp("legacy")) is None
+        assert not path.exists(), "the swept disk entry must be unlinked"
+        assert cache.get(fp("evictor")) == "E"
+
     def test_exactly_one_selector_required(self):
         cache = ttl_cache(FakeClock(), capacity=4)
         with pytest.raises(ValueError, match="exactly one"):

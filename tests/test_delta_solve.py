@@ -611,3 +611,35 @@ class TestWireOp:
             assert totals[key] >= snapshot[key], key
         assert totals["phases"] >= 1, "the warm replay must be counted"
         assert svc_stats["delta_outcomes"]["warm"] >= 1
+
+    def test_totals_accumulate_counters_added_after_construction(
+        self, monkeypatch
+    ):
+        """Regression: ``_delta_totals`` is seeded from a snapshot taken
+        at construction, but the accumulation must iterate the *live*
+        snapshot -- a numeric counter that ``DeltaStats.snapshot`` grows
+        later (a newer field, a plugin) must show up in
+        ``stats["delta_totals"]``, not be silently dropped because the
+        seeded dict never had its key."""
+        from repro.service import DeltaStats
+
+        svc = service()  # totals seeded from the pristine snapshot
+        original = DeltaStats.snapshot
+
+        def snapshot_with_future_counter(stats):
+            snap = original(stats)
+            snap["future_counter"] = 3
+            snap["future_label"] = "not-a-number"  # must be ignored
+            return snap
+
+        monkeypatch.setattr(
+            DeltaStats, "snapshot", snapshot_with_future_counter
+        )
+        svc.solve_delta(
+            request(build_workload("multi-tenant-forest", 16, seed=2))
+        )
+        totals = svc.stats["delta_totals"]
+        assert totals.get("future_counter", 0) >= 3, (
+            "a counter unknown at construction must still accumulate"
+        )
+        assert "future_label" not in totals

@@ -1,0 +1,196 @@
+"""Schedule-diff egress: tables, deltas, the pusher/follower pair.
+
+The contract under test: for *any* pair of schedule tables,
+``apply_delta(old, diff_tables(old, new)) == new`` with every digest
+check passing; any tampering -- wrong base, phantom removal, duplicate
+addition, corrupted target -- raises :class:`DeltaSyncError` instead of
+silently desynchronizing; and the :class:`SchedulePusher` /
+:class:`ScheduleFollower` pair keeps a subscriber bit-identical to the
+server's table across full syncs and delta pushes, including after a
+JSON wire round-trip of every payload.
+"""
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import solve_auto
+from repro.service import (
+    DeltaSyncError,
+    ScheduleFollower,
+    SchedulePusher,
+    apply_delta,
+    diff_tables,
+    normalize_table,
+    schedule_table,
+    table_digest,
+)
+from repro.workloads import build_workload
+
+
+def cell(i, demand=None, network=0, profit=1.5, height=0.25):
+    return (i, demand if demand is not None else i, network, profit, height)
+
+
+def cells_strategy():
+    """Random tables: unique instance ids, JSON-representable floats."""
+    return st.lists(
+        st.builds(
+            cell,
+            i=st.integers(0, 40),
+            demand=st.integers(0, 40),
+            network=st.integers(0, 3),
+            profit=st.floats(0, 100, allow_nan=False, width=32),
+            height=st.floats(0, 1, allow_nan=False, width=32),
+        ),
+        max_size=25,
+        unique_by=lambda c: c[0],
+    )
+
+
+def wire_trip(payload: dict) -> dict:
+    """A payload as the far end of a JSON socket would see it."""
+    return json.loads(json.dumps(payload))
+
+
+class TestTables:
+    def test_schedule_table_flattens_a_real_report(self):
+        report = solve_auto(
+            build_workload("bursty-lines", 14, seed=1),
+            mis="greedy", epsilon=0.25, seed=1,
+        )
+        table = schedule_table(report)
+        assert table, "a solved workload selects something"
+        assert all(len(row) == 5 for row in table)
+        ids = [row[0] for row in table]
+        assert ids == sorted(ids)
+        assert abs(sum(row[3] for row in table) - report.profit) < 1e-9
+
+    def test_digest_survives_a_json_round_trip(self):
+        table = [cell(3), cell(1), cell(2, profit=7.25)]
+        assert table_digest(json.loads(json.dumps(table))) == table_digest(table)
+
+    def test_normalize_rejects_malformed_rows(self):
+        with pytest.raises(DeltaSyncError, match="5 fields"):
+            normalize_table([[1, 2, 3]])
+
+
+class TestDiffApply:
+    def test_identical_tables_diff_to_nothing(self):
+        table = [cell(i) for i in range(5)]
+        delta = diff_tables(table, table)
+        assert delta.cells_changed == 0
+        assert delta.base_digest == delta.target_digest
+        assert apply_delta(table, delta) == normalize_table(table)
+
+    def test_disjoint_tables_diff_to_everything(self):
+        old = [cell(i) for i in range(4)]
+        new = [cell(i) for i in range(10, 13)]
+        delta = diff_tables(old, new)
+        assert len(delta.removed) == 4 and len(delta.added) == 3
+        assert apply_delta(old, delta) == normalize_table(new)
+
+    @settings(max_examples=50, deadline=None)
+    @given(old=cells_strategy(), new=cells_strategy())
+    def test_apply_diff_reproduces_new_for_any_pair(self, old, new):
+        delta = diff_tables(old, new)
+        assert apply_delta(old, delta) == normalize_table(new)
+        # Egress is O(symmetric difference), never O(table).
+        sym = len(set(normalize_table(old)) ^ set(normalize_table(new)))
+        assert delta.cells_changed == sym
+
+    def test_wrong_base_raises(self):
+        delta = diff_tables([cell(1)], [cell(2)])
+        with pytest.raises(DeltaSyncError, match="diverged"):
+            apply_delta([cell(3)], delta)
+
+    def test_tampered_delta_raises_not_corrupts(self):
+        from repro.service import ScheduleDelta
+
+        old, new = [cell(1), cell(2)], [cell(2), cell(3)]
+        good = diff_tables(old, new)
+        phantom = ScheduleDelta(
+            base_digest=good.base_digest, target_digest=good.target_digest,
+            added=good.added, removed=(cell(9),),
+        )
+        with pytest.raises(DeltaSyncError, match="absent"):
+            apply_delta(old, phantom)
+        duplicate = ScheduleDelta(
+            base_digest=good.base_digest, target_digest=good.target_digest,
+            added=(cell(2),), removed=(),
+        )
+        with pytest.raises(DeltaSyncError, match="already-present"):
+            apply_delta(old, duplicate)
+        corrupt = ScheduleDelta(
+            base_digest=good.base_digest, target_digest="0" * 16,
+            added=good.added, removed=good.removed,
+        )
+        with pytest.raises(DeltaSyncError, match="target-digest"):
+            apply_delta(old, corrupt)
+
+
+class TestPusherFollower:
+    def test_full_then_delta_then_forced_full(self):
+        pusher, follower = SchedulePusher(), ScheduleFollower()
+        t1 = [cell(i) for i in range(6)]
+        t2 = t1[:-1] + [cell(9)]
+        first = wire_trip(pusher.push("sub", t1))
+        assert first["mode"] == "full"
+        assert follower.apply(first) == normalize_table(t1)
+        second = wire_trip(pusher.push("sub", t2))
+        assert second["mode"] == "delta"
+        assert len(second["added"]) == 1 and len(second["removed"]) == 1
+        assert follower.apply(second) == normalize_table(t2)
+        forced = wire_trip(pusher.push("sub", t2, full_sync=True))
+        assert forced["mode"] == "full"
+        assert follower.apply(forced) == normalize_table(t2)
+        stats = pusher.stats_snapshot()
+        assert stats == {
+            "subscriptions": 1, "full_syncs": 2, "delta_pushes": 1,
+            "cells_pushed": len(t1) + 2 + len(t2), "verify_fallbacks": 0,
+        }
+        assert follower.deltas_applied == 1
+        assert follower.full_syncs_seen == 2
+
+    def test_forget_resets_to_full_sync(self):
+        pusher = SchedulePusher()
+        table = [cell(1)]
+        assert pusher.push("s", table)["mode"] == "full"
+        assert pusher.push("s", table)["mode"] == "delta"
+        pusher.forget("s")
+        assert pusher.push("s", table)["mode"] == "full"
+
+    def test_subscriptions_are_independent(self):
+        pusher = SchedulePusher()
+        t1, t2 = [cell(1)], [cell(2)]
+        pusher.push("a", t1)
+        assert pusher.push("b", t2)["mode"] == "full", (
+            "a new key must not inherit another subscription's base"
+        )
+        assert len(pusher) == 2
+
+    def test_follower_refuses_delta_before_full(self):
+        pusher, follower = SchedulePusher(), ScheduleFollower()
+        pusher.push("s", [cell(1)])
+        delta = pusher.push("s", [cell(2)])
+        with pytest.raises(DeltaSyncError, match="before any full"):
+            follower.apply(delta)
+
+    def test_random_churn_stays_bit_identical(self):
+        rng = random.Random(7)
+        pusher, follower = SchedulePusher(), ScheduleFollower()
+        table = {i: cell(i) for i in range(8)}
+        for step in range(30):
+            for _ in range(rng.randrange(3)):
+                table.pop(rng.choice(list(table)), None)
+            for _ in range(rng.randrange(3)):
+                i = rng.randrange(100)
+                table[i] = cell(i, profit=rng.random() * 10)
+            payload = wire_trip(
+                pusher.push("s", list(table.values()),
+                            full_sync=(step % 11 == 10))
+            )
+            assert follower.apply(payload) == normalize_table(table.values())
+        assert pusher.delta_pushes > 0 and pusher.verify_fallbacks == 0
