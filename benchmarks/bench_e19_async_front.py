@@ -29,23 +29,35 @@ latency.  Asserted: every async-served result is bit-identical
 door (fresh disk-less service) and again on a *cached* one -- the TCP
 responses' digests match the same direct solves, and after
 :meth:`aclose` the warm executor-pool registries are empty (the
-graceful-drain contract of ``shutdown_pools``).
+graceful-drain contract of ``shutdown_pools``).  The async replay
+runs with a private :class:`repro.obs.MetricsRegistry` and asserts
+the telemetry's own view: one admission-wait observation per admitted
+request and a finite per-family request p99 out of the latency
+histograms.
 
 ``--quick`` runs a CI-sized stream; ``--json OUT`` emits the findings
 via the shared benchmark plumbing.
 """
 import asyncio
 import json
+import math
 import random
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from common import emit_json, parse_bench_args, table
+from common import (
+    emit_json,
+    histogram_percentiles,
+    parse_bench_args,
+    percentiles,
+    table,
+)
 
 from repro.algorithms import solve_auto
 from repro.core.engines import backends
+from repro.obs import MetricsRegistry
 from repro.service import (
     AsyncSchedulingService,
     SchedulingService,
@@ -92,13 +104,6 @@ def _zipf_stream(n_population: int, n_requests: int, rng: random.Random):
     return [ranks[i] for i in rng.choices(range(n_population), weights, k=n_requests)]
 
 
-def _percentile(sorted_values, q: float) -> float:
-    if not sorted_values:
-        return float("nan")
-    idx = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
-    return sorted_values[idx]
-
-
 def _direct_digests(plan):
     """Fingerprint-label -> digest of the direct library solve."""
     digests = {}
@@ -113,9 +118,19 @@ def _direct_digests(plan):
 
 
 async def _async_replay(population, stream, direct, max_inflight):
-    """The whole stream gathered at once through a fresh front door."""
+    """The whole stream gathered at once through a fresh front door.
+
+    The front runs with a private telemetry registry: besides the
+    digest cross-checks, the replay asserts the observability layer's
+    view of itself -- admission-wait observed once per request, and a
+    finite per-family request p99 straight from the latency histograms.
+    """
+    registry = MetricsRegistry()
     front = AsyncSchedulingService(
-        capacity=len(population), workers=2, max_inflight=max_inflight
+        capacity=len(population),
+        workers=2,
+        max_inflight=max_inflight,
+        metrics=registry,
     )
     latencies = []
 
@@ -157,8 +172,32 @@ async def _async_replay(population, stream, direct, max_inflight):
     assert stats["peak_active"] <= max_inflight, (
         f"admission cap violated: peak {stats['peak_active']} > {max_inflight}"
     )
+
+    # Telemetry cross-check: every admitted request (the stream plus
+    # the cached-replay batch) observed an admission wait, and the
+    # request histograms yield a finite p99 for both served families.
+    snap = registry.snapshot()
+    n_admitted = sum(
+        h["count"]
+        for key, h in snap["histograms"].items()
+        if key.startswith("repro_admission_wait_seconds")
+    )
+    assert n_admitted == len(stream) + len(population), (
+        f"admission-wait observed {n_admitted} times, expected "
+        f"{len(stream) + len(population)}"
+    )
+    telemetry_p99 = {}
+    for family in ("line", "tree"):
+        pcts = histogram_percentiles(
+            snap, "repro_service_request_seconds", family=family
+        )
+        assert not math.isnan(pcts["p99"]), (
+            f"{family}: request histogram has no samples"
+        )
+        telemetry_p99[family] = pcts["p99"]
+
     await front.drain()  # pools stay warm for the wire phase
-    return elapsed, sorted(latencies), stats
+    return elapsed, sorted(latencies), stats, telemetry_p99
 
 
 async def _wire_replay(population, stream, direct):
@@ -218,11 +257,12 @@ def run_experiment(quick: bool = False):
         result = sync_service.solve(population[idx])
         sync_latencies.append(result.latency_s)
     sync_elapsed = time.perf_counter() - t_start
-    sync_latencies.sort()
+    sync_pcts = percentiles(sync_latencies)
 
-    async_elapsed, async_latencies, front_stats = asyncio.run(
+    async_elapsed, async_latencies, front_stats, telemetry_p99 = asyncio.run(
         _async_replay(population, stream, direct, MAX_INFLIGHT)
     )
+    async_pcts = percentiles(async_latencies)
     wire_elapsed, wire_count = asyncio.run(
         _wire_replay(population, stream[:n_wire], direct)
     )
@@ -244,16 +284,16 @@ def run_experiment(quick: bool = False):
             "sync (E18 path)",
             n_requests,
             f"{n_requests / sync_elapsed:.0f}",
-            f"{_percentile(sync_latencies, 0.50) * 1e3:.2f}",
-            f"{_percentile(sync_latencies, 0.99) * 1e3:.1f}",
+            f"{sync_pcts['p50'] * 1e3:.2f}",
+            f"{sync_pcts['p99'] * 1e3:.1f}",
             "1 (serial)",
         ],
         [
             "async front door",
             n_requests,
             f"{n_requests / async_elapsed:.0f}",
-            f"{_percentile(async_latencies, 0.50) * 1e3:.2f}",
-            f"{_percentile(async_latencies, 0.99) * 1e3:.1f}",
+            f"{async_pcts['p50'] * 1e3:.2f}",
+            f"{async_pcts['p99'] * 1e3:.1f}",
             f"{front_stats['peak_active']} (cap {MAX_INFLIGHT})",
         ],
         [
@@ -274,10 +314,13 @@ def run_experiment(quick: bool = False):
         "sync_throughput_rps": n_requests / sync_elapsed,
         "async_throughput_rps": n_requests / async_elapsed,
         "async_vs_sync": sync_elapsed / async_elapsed,
-        "async_p50_ms": _percentile(async_latencies, 0.50) * 1e3,
-        "async_p99_ms": _percentile(async_latencies, 0.99) * 1e3,
-        "sync_p50_ms": _percentile(sync_latencies, 0.50) * 1e3,
-        "sync_p99_ms": _percentile(sync_latencies, 0.99) * 1e3,
+        "async_p50_ms": async_pcts["p50"] * 1e3,
+        "async_p99_ms": async_pcts["p99"] * 1e3,
+        "sync_p50_ms": sync_pcts["p50"] * 1e3,
+        "sync_p99_ms": sync_pcts["p99"] * 1e3,
+        "telemetry_request_p99_ms": {
+            family: p99 * 1e3 for family, p99 in telemetry_p99.items()
+        },
         "wire_requests": wire_count,
         "wire_throughput_rps": wire_count / wire_elapsed,
         "hit_rate": hit_rate,

@@ -13,7 +13,11 @@ Three phases, all over real sockets:
   single-shard tier and a ``FLEET``-shard tier with identical traffic;
   cold-heavy population so the solver, not the socket, is the
   bottleneck.  Every response digest is checked against a direct
-  :func:`repro.algorithms.solve_auto`.  The >= 2.5x four-shard speedup
+  :func:`repro.algorithms.solve_auto`.  The fleet tier runs with
+  telemetry on and the router's ``{"op": "metrics"}`` cluster-merged
+  view must account for exactly the replayed stream (merged request
+  count == stream length == sum of per-shard counts, with a finite
+  per-family p99 out of the bucket-wise-merged histograms).  The >= 2.5x four-shard speedup
   assert only arms in full mode on a box with >= 4 usable CPUs -- on
   fewer cores the shards time-slice one another and the ratio is
   reported, not asserted.
@@ -33,13 +37,14 @@ via the shared benchmark plumbing.
 """
 import asyncio
 import json
+import math
 import random
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from common import emit_json, parse_bench_args, table
+from common import emit_json, histogram_percentiles, parse_bench_args, table
 
 from repro.algorithms import solve_auto
 from repro.core.engines.backends import usable_cpu_count
@@ -122,8 +127,13 @@ async def _rpc(reader, writer, message):
     return json.loads(await reader.readline())
 
 
-async def _replay(addresses, population, stream, direct):
-    """Pipeline the whole stream through a router; verify every digest."""
+async def _replay(addresses, population, stream, direct, collect_metrics=False):
+    """Pipeline the whole stream through a router; verify every digest.
+
+    With ``collect_metrics`` the replay finishes by asking the router
+    for the cluster-merged telemetry view (``{"op": "metrics"}``) and
+    returns it alongside the elapsed time.
+    """
     router = ShardRouter(addresses)
     host, port = await router.serve()
     reader, writer = await asyncio.open_connection(host, port)
@@ -148,27 +158,76 @@ async def _replay(addresses, population, stream, direct):
         assert response["semantic_digest"] == direct[label], (
             f"{label}: sharded response diverged from direct solve"
         )
+    metrics = None
+    if collect_metrics:
+        metrics = await _rpc(reader, writer, {"op": "metrics", "id": -2})
+        assert metrics["ok"], f"metrics op failed: {metrics.get('error')}"
     writer.close()
     await writer.wait_closed()
     await router.aclose()
-    return elapsed
+    return elapsed, metrics
+
+
+def _check_cluster_metrics(metrics, n_requests):
+    """The router-merged telemetry must account for the whole replay.
+
+    Bucket-wise merging across shards is exact (shared fixed bounds),
+    so the cluster view's request count must equal the stream length
+    -- equal to the sum of the per-shard counts -- and the merged
+    request histogram must yield a finite p99.  Returns
+    ``{"request_p99_ms": {family: ms}, "shard_requests": {...}}``.
+    """
+
+    def request_count(snapshot):
+        return sum(
+            h["count"]
+            for key, h in snapshot.get("histograms", {}).items()
+            if key.startswith("repro_service_request_seconds")
+        )
+
+    cluster = metrics["cluster"]
+    shard_counts = {
+        entry["shard"]: request_count(entry["metrics"])
+        for entry in metrics["shards"]
+    }
+    total = request_count(cluster)
+    assert total == n_requests, (
+        f"cluster-merged request count {total} != {n_requests} served"
+    )
+    assert total == sum(shard_counts.values()), (
+        f"merged count {total} != per-shard sum {shard_counts}"
+    )
+    p99 = {}
+    for family in ("line", "tree"):
+        pcts = histogram_percentiles(
+            cluster, "repro_service_request_seconds", family=family
+        )
+        if not math.isnan(pcts["p99"]):
+            p99[family] = pcts["p99"] * 1e3
+    assert p99, "merged request histogram must yield a finite family p99"
+    return {"request_p99_ms": p99, "shard_requests": shard_counts}
 
 
 def _scaling_phase(quick, population, stream, direct):
     results = {}
+    telemetry = None
     for shards in (1, FLEET):
         with ShardCluster(shards=shards, capacity=len(population),
-                          workers=2) as cluster:
-            results[shards] = asyncio.run(
-                _replay(cluster.addresses, population, stream, direct)
+                          workers=2, metrics=True) as cluster:
+            elapsed, metrics = asyncio.run(
+                _replay(cluster.addresses, population, stream, direct,
+                        collect_metrics=shards == FLEET)
             )
+            results[shards] = elapsed
+            if metrics is not None:
+                telemetry = _check_cluster_metrics(metrics, len(stream))
     ratio = results[1] / results[FLEET]
     if not quick and usable_cpu_count() >= FLEET:
         assert ratio >= SCALING_TARGET, (
             f"{FLEET}-shard replay must be >= {SCALING_TARGET}x a single "
             f"shard on a >= {FLEET}-CPU box, got {ratio:.2f}x"
         )
-    return results, ratio
+    return results, ratio, telemetry
 
 
 async def _kill_phase(population, stream, direct):
@@ -271,7 +330,7 @@ def run_experiment(quick: bool = False):
     stream = _zipf_stream(len(population), n_requests, rng)
     direct = _direct_digests(population)
 
-    elapsed, ratio = _scaling_phase(quick, population, stream, direct)
+    elapsed, ratio, telemetry = _scaling_phase(quick, population, stream, direct)
     rerouted = asyncio.run(_kill_phase(population, stream, direct))
     per_step = asyncio.run(_egress_phase(steps))
 
@@ -295,6 +354,7 @@ def run_experiment(quick: bool = False):
         "speedup": ratio,
         "scaling_asserted": (not quick) and usable_cpu_count() >= FLEET,
         "scaling_target": SCALING_TARGET,
+        "telemetry": telemetry,
         "kill_reroutes": rerouted,
         "egress_steps": len(per_step),
         "egress_full_syncs": len(full_bytes),
@@ -326,9 +386,14 @@ if __name__ == "__main__":
     title, out, findings = run_experiment(quick=quick)
     print(title, "\n", out, sep="")
     gate = "asserted" if findings["scaling_asserted"] else "reported only"
+    p99s = ", ".join(
+        f"{fam} {ms:.1f}ms"
+        for fam, ms in sorted(findings["telemetry"]["request_p99_ms"].items())
+    )
     print(
         f"{findings['fleet']}-shard speedup {findings['speedup']:.2f}x "
         f"({gate}, {findings['usable_cpus']} usable CPUs); "
+        f"cluster-merged request p99 {p99s}; "
         f"shard-kill survived with bit-identical digests "
         f"({findings['kill_reroutes']} ring removals); "
         f"egress: {findings['egress_delta_pushes']} delta pushes avg "

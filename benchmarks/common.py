@@ -34,6 +34,59 @@ def table(headers: Sequence[str], rows: List[Sequence[object]]) -> str:
     return format_table(headers, rows)
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank *q*-percentile of *values* (sorts internally).
+
+    The one shared definition -- E18/E19/E22 used to carry private
+    copies; keeping a single nearest-rank rule means their reported
+    p50/p99 columns are comparable across experiments.  ``nan`` on
+    empty input.
+    """
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[idx]
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (0.50, 0.99)
+) -> Dict[str, float]:
+    """``{"p50": ..., "p99": ...}`` of *values* via :func:`percentile`.
+
+    Keys are ``p<100q>`` with any decimal point as ``_`` (``p99_9``),
+    matching the findings-dict naming the report generator scrapes.
+    """
+    ordered = sorted(values)
+    return {
+        f"p{100 * q:g}".replace(".", "_"): percentile(ordered, q) for q in qs
+    }
+
+
+def histogram_percentiles(
+    snapshot: Dict[str, object],
+    name: str,
+    qs: Sequence[float] = (0.50, 0.99),
+    **labels: str,
+) -> Dict[str, float]:
+    """Percentiles estimated from a telemetry snapshot's histograms.
+
+    *snapshot* is a jsonable registry snapshot (from
+    ``MetricsRegistry.snapshot()`` or a ``{"op": "metrics"}`` answer);
+    series of *name* whose labels contain *labels* merge bucket-wise
+    first, so the answer covers e.g. one problem family across every
+    status.  Values are ``nan`` when nothing matches.
+    """
+    from repro.obs import snapshot_quantile
+
+    return {
+        f"p{100 * q:g}".replace(".", "_"): snapshot_quantile(
+            snapshot, name, q, **labels
+        )
+        for q in qs
+    }
+
+
 def parse_bench_args(argv: Sequence[str], prog: str) -> Tuple[bool, Optional[str]]:
     """Parse the shared benchmark CLI: ``[--quick] [--json OUT]``.
 

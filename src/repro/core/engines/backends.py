@@ -46,6 +46,7 @@ import multiprocessing
 import os
 import pickle
 import sys
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
@@ -58,6 +59,7 @@ from repro.core.engines.incremental import run_epoch_incremental
 from repro.core.types import DemandId, EdgeKey
 from repro.distributed.conflict import ConflictAdjacency, InstanceIndex
 from repro.distributed.mis import MISOracle
+from repro.obs.metrics import default_registry
 
 #: The interchangeable execution backends of ``engine="parallel"``.
 BACKENDS = ("thread", "process", "serial")
@@ -250,6 +252,41 @@ def _run_jobs(jobs: Sequence[EpochJob]) -> List[EpochOutcome]:
     return [run_epoch_job(job) for job in jobs]
 
 
+def _timed_run_jobs(
+    jobs: Sequence[EpochJob], t_submit: float
+) -> Tuple[float, List[EpochOutcome]]:
+    """:func:`_run_jobs` plus the chunk's queue wait (start - submit).
+
+    Module-level so the process backend can pickle it; the wait is
+    measured with ``time.perf_counter``, which on Linux is the
+    system-wide monotonic clock -- comparable across forked pool
+    workers, so cross-process queue waits are real, not garbage.
+    """
+    wait = time.perf_counter() - t_submit
+    return wait, _run_jobs(jobs)
+
+
+def _record_wave(backend: str, workers: int, n_chunks: int, waits: List[float]) -> None:
+    """Fold one dispatched wave into the process-default registry.
+
+    Always-on (no opt-in plumbing down here): the cost is a few dict
+    lookups per *wave*, invisible next to the jobs themselves, and it
+    means pool health is observable even from services that did not
+    enable request tracing.
+    """
+    registry = default_registry()
+    registry.counter("repro_pool_waves_total", backend=backend).inc()
+    registry.gauge("repro_pool_utilization", backend=backend).set(
+        n_chunks / workers
+    )
+    if waits:
+        series = registry.histogram(
+            "repro_pool_queue_wait_seconds", backend=backend
+        )
+        for wait in waits:
+            series.observe(max(0.0, wait))
+
+
 class EpochExecutorBackend:
     """Where epoch jobs run.  Implementations must return one outcome
     per job; order within the returned list is immaterial (the engine
@@ -302,10 +339,18 @@ class _PooledBackend(EpochExecutorBackend):
         chunks = [jobs[c::n_chunks] for c in range(n_chunks)]
         pool = self._pool()
         self._last_pool = pool
-        futures = [pool.submit(_run_jobs, chunk) for chunk in chunks[1:]]
+        t_submit = time.perf_counter()
+        futures = [
+            pool.submit(_timed_run_jobs, chunk, t_submit)
+            for chunk in chunks[1:]
+        ]
         done = _run_jobs(chunks[0])
+        waits = []
         for fut in futures:
-            done.extend(fut.result())
+            wait, outcomes = fut.result()
+            waits.append(wait)
+            done.extend(outcomes)
+        _record_wave(self.name, self.workers, n_chunks, waits)
         return done
 
 

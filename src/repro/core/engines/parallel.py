@@ -83,6 +83,7 @@ from repro.core.plan import EpochPlan, validate_granularity
 from repro.core.types import DemandId, EdgeKey
 from repro.distributed.conflict import ConflictAdjacency, build_instance_index
 from repro.distributed.mis import MISOracle
+from repro.obs.metrics import default_registry
 
 __all__ = [
     "MAX_DEFAULT_WORKERS",
@@ -246,6 +247,12 @@ class ParallelEpochExecutor:
                     )
             if not jobs:
                 continue
+            # Always-on wave telemetry into the process-default
+            # registry: one gauge write per wave (see backends'
+            # _record_wave for the pool-side counterpart).
+            default_registry().gauge(
+                "repro_wave_width", backend=self.backend.name
+            ).set(len(jobs))
             for out in self.backend.run_wave(jobs):
                 outcomes[out.sort_key] = out
             # The master dual is frozen while a wave runs; merge the

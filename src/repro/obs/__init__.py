@@ -1,0 +1,46 @@
+"""Production telemetry for the serving stack.
+
+Dependency-free metrics (:mod:`repro.obs.metrics`), per-request phase
+tracing (:mod:`repro.obs.trace`), and SLO tracking over the same
+histograms (:mod:`repro.obs.slo`).  See the README "Observability"
+section for the metric-name catalogue and label conventions.
+"""
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    default_registry,
+    merge_snapshots,
+    parse_series_key,
+    quantile_from_histogram,
+    render_prometheus,
+    series_key,
+    snapshot_quantile,
+)
+from .slo import DEFAULT_TARGETS, SLOTracker
+from .trace import NULL_TRACE, NullTrace, PHASES, Span, Trace, trace_request
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "default_registry",
+    "merge_snapshots",
+    "parse_series_key",
+    "quantile_from_histogram",
+    "render_prometheus",
+    "series_key",
+    "snapshot_quantile",
+    "DEFAULT_TARGETS",
+    "SLOTracker",
+    "NULL_TRACE",
+    "NullTrace",
+    "PHASES",
+    "Span",
+    "Trace",
+    "trace_request",
+]

@@ -1,0 +1,506 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The serving stack (cache tier, asyncio front door, delta-solve, shard
+router) needs a *structured* telemetry surface -- not another ad-hoc
+counter dict -- so this module provides the three classic instrument
+kinds behind one process-wide :class:`MetricsRegistry`:
+
+* :class:`Counter` -- monotonically increasing count (requests served,
+  SLO violations).  Merging is addition.
+* :class:`Gauge` -- a point-in-time level (queue depth, pool
+  utilization).  Merging is addition too: summing per-shard queue
+  depths *is* the cluster queue depth.
+* :class:`Histogram` -- observations bucketed over **fixed log-spaced
+  latency bounds** (:data:`LATENCY_BUCKETS`, ~100 microseconds to one
+  minute).  Fixed bounds are the point: every latency histogram in the
+  process -- and in every *shard* process -- shares the same bucket
+  edges, so snapshots merge by bucket-wise addition and the shard
+  router can aggregate a cluster-wide view without resampling
+  (:func:`merge_snapshots`).  Quantiles (p50/p99 for the SLO asserts)
+  are estimated by linear interpolation inside the owning bucket,
+  tightened by the tracked min/max.
+
+Series are **labeled**: ``registry.counter("repro_service_requests_total",
+status="hit")`` names one series per distinct label set, keyed
+``name{status="hit"}`` in snapshots -- the Prometheus data model, and
+:func:`render_prometheus` emits the matching text exposition.
+
+Thread-safety: one lock per registry guards creation, updates and
+snapshots, so a snapshot is always internally consistent (no torn
+histogram: ``sum(counts) == count`` holds under any concurrent write
+load) and counters read monotone across successive snapshots.  The
+instruments are deliberately cheap -- a dict lookup and a few adds --
+because the solve path records into them on every request.
+
+Nothing here imports outside the standard library; the registry is
+usable from any layer (engines included) without a dependency cycle.
+"""
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "default_registry",
+    "merge_snapshots",
+    "parse_series_key",
+    "quantile_from_histogram",
+    "render_prometheus",
+    "series_key",
+]
+
+#: The shared log-spaced latency bucket upper bounds, in seconds: a
+#: 1-2.5-5 decade ladder from 100 microseconds (a memory-tier cache
+#: hit) to one minute (a pathological cold solve), closed by +inf.
+#: Every latency histogram uses these same bounds so per-shard
+#: snapshots merge bucket-wise -- do not vary them per series.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 25.0, 60.0,
+    math.inf,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def series_key(name: str, labels: Mapping[str, str]) -> str:
+    """The canonical snapshot key of one labeled series.
+
+    ``name`` alone for an unlabeled series, else
+    ``name{k="v",...}`` with label keys sorted -- the same series
+    always produces the same key, whatever order the call site passed
+    its labels in.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`series_key` (snapshot post-processing, tests)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v.strip('"')
+    return name, labels
+
+
+class Counter:
+    """A monotonically increasing count.  Created via the registry."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A settable level (queue depth, utilization fraction)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """Observations bucketed over fixed upper bounds.
+
+    ``bounds`` must end in ``+inf`` (every observation lands
+    somewhere); the default is :data:`LATENCY_BUCKETS`.  Tracks sum,
+    count and min/max alongside the bucket counts, so snapshots
+    support both mean and interpolated quantiles.
+    """
+
+    __slots__ = ("_lock", "bounds", "counts", "sum", "count", "min", "max")
+
+    def __init__(
+        self, lock: threading.Lock, bounds: Sequence[float] = LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(bounds)
+        if not bounds or bounds[-1] != math.inf:
+            raise ValueError("histogram bounds must end in +inf")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self._lock = lock
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _bucket_of(self, value: float) -> int:
+        # Linear scan beats bisect at this bucket count for the common
+        # (small-latency) case, and has no import or call overhead.
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                return i
+        return len(self.bounds) - 1  # pragma: no cover -- inf catches all
+
+    def observe(self, value: float) -> None:
+        i = self._bucket_of(value)
+        with self._lock:
+            self.counts[i] += 1
+            self.sum += value
+            self.count += 1
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+
+def _histogram_snapshot(h: Histogram) -> dict:
+    return {
+        "bounds": [b if b != math.inf else "+inf" for b in h.bounds],
+        "counts": list(h.counts),
+        "sum": h.sum,
+        "count": h.count,
+        "min": h.min if h.count else None,
+        "max": h.max if h.count else None,
+    }
+
+
+def _decode_bound(b) -> float:
+    return math.inf if b == "+inf" else float(b)
+
+
+def quantile_from_histogram(snap: Mapping, q: float) -> float:
+    """Estimate the *q*-quantile of one histogram snapshot.
+
+    Walks the cumulative bucket counts to the bucket holding the
+    target rank, then interpolates linearly inside it; the tracked
+    min/max clamp the first and last occupied buckets (so a histogram
+    of identical observations answers exactly that value).  ``nan``
+    for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = snap["count"]
+    if not count:
+        return math.nan
+    bounds = [_decode_bound(b) for b in snap["bounds"]]
+    lo = snap["min"] if snap.get("min") is not None else 0.0
+    hi = snap["max"] if snap.get("max") is not None else bounds[-2]
+    rank = q * count
+    cumulative = 0.0
+    for i, c in enumerate(snap["counts"]):
+        if not c:
+            continue
+        lower = max(bounds[i - 1], lo) if i else lo
+        upper = min(bounds[i], hi) if bounds[i] != math.inf else hi
+        if cumulative + c >= rank:
+            within = (rank - cumulative) / c
+            return lower + (upper - lower) * max(0.0, min(1.0, within))
+        cumulative += c
+    return hi
+
+
+class MetricsRegistry:
+    """A process-wide set of labeled metric series.
+
+    ``counter``/``gauge``/``histogram`` fetch-or-create the series for
+    ``(name, labels)``; a name is bound to exactly one instrument kind
+    and (for histograms) one bounds tuple -- mixing kinds under one
+    name raises, because the merged cluster view could not represent
+    it.  :meth:`snapshot` returns a plain jsonable dict taken under
+    the registry lock (internally consistent by construction);
+    :func:`merge_snapshots` folds many such snapshots -- typically one
+    per shard -- into one.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._kinds: Dict[str, str] = {}
+        #: (name, sorted label items[, bounds]) -> instrument: the
+        #: lock-free fast path for repeat fetches.  Per-request tracing
+        #: re-fetches the same few series on every request; skipping
+        #: the key-string build and the lock there keeps the hit-path
+        #: overhead in single-digit microseconds.  Benign under races:
+        #: a missed read falls through to the locked fetch-or-create,
+        #: which is idempotent.
+        self._memo: Dict[tuple, object] = {}
+        #: Scratch cache for hot-path callers (the trace layer) that
+        #: resolve the same few instruments on every request: they key
+        #: it with their own precomputed tuples, skipping even the
+        #: kwargs plumbing of the fetch methods.  Same race-benignity
+        #: as ``_memo``; cleared by :meth:`reset`.
+        self.trace_cache: Dict[tuple, object] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        held = self._kinds.setdefault(name, kind)
+        if held != kind:
+            raise ValueError(
+                f"metric {name!r} is already a {held}, cannot re-register "
+                f"as a {kind}"
+            )
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        memo_key = ("counter", name, tuple(sorted(labels.items())))
+        series = self._memo.get(memo_key)
+        if series is not None:
+            return series
+        key = series_key(name, labels)
+        with self._lock:
+            self._claim(name, "counter")
+            series = self._counters.get(key)
+            if series is None:
+                series = self._counters[key] = Counter(self._lock)
+            self._memo[memo_key] = series
+        return series
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        memo_key = ("gauge", name, tuple(sorted(labels.items())))
+        series = self._memo.get(memo_key)
+        if series is not None:
+            return series
+        key = series_key(name, labels)
+        with self._lock:
+            self._claim(name, "gauge")
+            series = self._gauges.get(key)
+            if series is None:
+                series = self._gauges[key] = Gauge(self._lock)
+            self._memo[memo_key] = series
+        return series
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        bounds = tuple(bounds)
+        memo_key = ("histogram", name, tuple(sorted(labels.items())), bounds)
+        series = self._memo.get(memo_key)
+        if series is not None:
+            return series
+        key = series_key(name, labels)
+        with self._lock:
+            self._claim(name, "histogram")
+            series = self._histograms.get(key)
+            if series is None:
+                series = self._histograms[key] = Histogram(self._lock, bounds)
+            elif bounds != series.bounds:
+                raise ValueError(
+                    f"histogram {key} already registered with different bounds"
+                )
+            self._memo[memo_key] = series
+        return series
+
+    def snapshot(self) -> dict:
+        """A consistent, jsonable copy of every series.
+
+        Taken under the registry lock, so no concurrent ``observe``
+        can tear a histogram (``sum(counts) == count`` always holds)
+        and successive snapshots see counters monotone.
+        """
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: _histogram_snapshot(h)
+                    for k, h in self._histograms.items()
+                },
+            }
+
+    def quantile(self, name: str, q: float, **labels: str) -> float:
+        """The *q*-quantile of ``name``'s histogram series.
+
+        Labels given act as a *filter*: all series of ``name`` whose
+        labels include every given pair are merged bucket-wise first,
+        so ``quantile("repro_service_request_seconds", 0.99,
+        family="line")`` spans the hit, coalesced and cold series of
+        that family at once.  ``nan`` when nothing matches.
+        """
+        snap = self.snapshot()["histograms"]
+        merged: Optional[dict] = None
+        for key, h in snap.items():
+            k_name, k_labels = parse_series_key(key)
+            if k_name != name:
+                continue
+            if any(k_labels.get(lk) != lv for lk, lv in labels.items()):
+                continue
+            merged = h if merged is None else _merge_histograms(merged, h)
+        if merged is None:
+            return math.nan
+        return quantile_from_histogram(merged, q)
+
+    def reset(self) -> None:
+        """Drop every series (test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._kinds.clear()
+            self._memo.clear()
+            self.trace_cache.clear()
+
+
+def _merge_histograms(a: Mapping, b: Mapping) -> dict:
+    if list(a["bounds"]) != list(b["bounds"]):
+        raise ValueError(
+            "cannot merge histograms with different bucket bounds: "
+            f"{a['bounds']} vs {b['bounds']}"
+        )
+    mins = [m for m in (a.get("min"), b.get("min")) if m is not None]
+    maxes = [m for m in (a.get("max"), b.get("max")) if m is not None]
+    return {
+        "bounds": list(a["bounds"]),
+        "counts": [x + y for x, y in zip(a["counts"], b["counts"])],
+        "sum": a["sum"] + b["sum"],
+        "count": a["count"] + b["count"],
+        "min": min(mins) if mins else None,
+        "max": max(maxes) if maxes else None,
+    }
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Fold many registry snapshots into one cluster-wide view.
+
+    Counters and gauges add; histograms add **bucket-wise** (the fixed
+    shared bounds make this exact, not approximate) -- the operation
+    the shard router uses to answer ``{"op": "metrics"}`` for the
+    whole cluster.  Mismatched histogram bounds raise.
+    """
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        for key, v in snap.get("counters", {}).items():
+            merged["counters"][key] = merged["counters"].get(key, 0.0) + v
+        for key, v in snap.get("gauges", {}).items():
+            merged["gauges"][key] = merged["gauges"].get(key, 0.0) + v
+        for key, h in snap.get("histograms", {}).items():
+            held = merged["histograms"].get(key)
+            merged["histograms"][key] = (
+                dict(h) if held is None else _merge_histograms(held, h)
+            )
+    return merged
+
+
+def snapshot_quantile(snapshot: Mapping, name: str, q: float, **labels: str) -> float:
+    """The *q*-quantile of ``name``'s histogram series in a jsonable
+    *snapshot* (as produced by :meth:`MetricsRegistry.snapshot`, the
+    ``metrics`` wire op, or :func:`merge_snapshots`).
+
+    The offline twin of :meth:`MetricsRegistry.quantile`: series whose
+    labels contain *labels* merge bucket-wise before estimation, so a
+    benchmark can ask a served snapshot for per-family tail latency
+    without holding the registry.  ``nan`` when nothing matches.
+    """
+    merged = None
+    for key, h in snapshot.get("histograms", {}).items():
+        base, got = parse_series_key(key)
+        if base != name:
+            continue
+        if any(got.get(k) != v for k, v in labels.items()):
+            continue
+        merged = dict(h) if merged is None else _merge_histograms(merged, h)
+    if merged is None:
+        return math.nan
+    return quantile_from_histogram(merged, q)
+
+
+def _prom_line(key: str, value: float, extra_label: str = "") -> str:
+    name, labels = parse_series_key(key)
+    items = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra_label:
+        items.append(extra_label)
+    label_str = "{" + ",".join(items) + "}" if items else ""
+    return f"{name}{label_str} {value}"
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """The Prometheus text exposition of one (possibly merged) snapshot.
+
+    Emits ``# TYPE`` headers per metric name and the standard
+    ``_bucket``/``_sum``/``_count`` triplet (cumulative ``le`` labels)
+    for histograms, so the output scrapes cleanly into any
+    Prometheus-compatible collector.
+    """
+    lines: List[str] = []
+    typed: set = set()
+
+    def type_header(key: str, kind: str, suffix: str = "") -> None:
+        name = parse_series_key(key)[0]
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name}{suffix} {kind}")
+
+    for key in sorted(snapshot.get("counters", {})):
+        type_header(key, "counter")
+        lines.append(_prom_line(key, snapshot["counters"][key]))
+    for key in sorted(snapshot.get("gauges", {})):
+        type_header(key, "gauge")
+        lines.append(_prom_line(key, snapshot["gauges"][key]))
+    for key in sorted(snapshot.get("histograms", {})):
+        type_header(key, "histogram")
+        h = snapshot["histograms"][key]
+        name, labels = parse_series_key(key)
+        cumulative = 0
+        for bound, count in zip(h["bounds"], h["counts"]):
+            cumulative += count
+            le = "+Inf" if bound == "+inf" else repr(_decode_bound(bound))
+            lines.append(
+                _prom_line(
+                    series_key(f"{name}_bucket", labels),
+                    cumulative,
+                    extra_label=f'le="{le}"',
+                )
+            )
+        lines.append(_prom_line(series_key(f"{name}_sum", labels), h["sum"]))
+        lines.append(
+            _prom_line(series_key(f"{name}_count", labels), h["count"])
+        )
+    return "\n".join(lines) + "\n"
+
+
+#: The process-default registry.  Layers that cannot be handed a
+#: registry explicitly (the epoch executor sits many call frames below
+#: any service object) record here; the service layer uses it too when
+#: constructed with ``metrics=True``, so one ``{"op": "metrics"}``
+#: snapshot covers the whole process.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT

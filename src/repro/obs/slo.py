@@ -1,0 +1,112 @@
+"""SLO tracking on top of the request-latency histograms.
+
+An :class:`SLOTracker` holds per-family latency budgets (seconds) and
+rides on the same ``repro_service_request_seconds`` histograms the
+trace layer populates: each finished request is checked against its
+family's budget, over-budget requests bump
+``repro_slo_over_budget_total{family=...}``, and :meth:`report`
+answers "is the p99 inside target?" straight from the merged histogram
+buckets -- the quantity benches E18/E19/E22 assert on.
+
+Budgets apply to *served* latency, whatever the cache outcome; the
+report breaks attainment out per family so a cold-solve-heavy family
+can carry a looser budget than a warm-hit-heavy one.  Targets default
+to :data:`DEFAULT_TARGETS`, deliberately generous -- the point of the
+defaults is exercising the mechanism on shared CI hardware, not
+enforcing production numbers; real deployments pass their own.
+"""
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+from .metrics import MetricsRegistry
+from .trace import REQUEST_HISTOGRAM
+
+__all__ = ["DEFAULT_TARGETS", "SLOTracker"]
+
+#: Default per-family p99 budgets in seconds.  Loose by design (CI).
+DEFAULT_TARGETS: Dict[str, float] = {"line": 5.0, "tree": 5.0}
+
+OVER_BUDGET_COUNTER = "repro_slo_over_budget_total"
+OBSERVED_COUNTER = "repro_slo_requests_total"
+
+
+class SLOTracker:
+    """Per-family latency budgets with over-budget counting.
+
+    The service calls :meth:`observe` once per finished request (the
+    trace already timed it); everything else reads from the registry,
+    so a tracker can also be pointed at a *merged* cluster snapshot's
+    registry-of-origin via :meth:`attainment_from_snapshot`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        targets: Optional[Mapping[str, float]] = None,
+        quantile: float = 0.99,
+    ) -> None:
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        self.registry = registry
+        self.targets: Dict[str, float] = dict(
+            DEFAULT_TARGETS if targets is None else targets
+        )
+        self.quantile = quantile
+        #: family -> observed counter, resolved once: observe() runs on
+        #: every served request, so it must not pay the labeled-series
+        #: fetch each time.
+        self._observed: Dict[str, object] = {}
+
+    def budget_for(self, family: str) -> Optional[float]:
+        return self.targets.get(family)
+
+    def observe(self, family: str, elapsed: float) -> bool:
+        """Record one served request; True when it blew its budget."""
+        budget = self.targets.get(family)
+        counter = self._observed.get(family)
+        if counter is None:
+            counter = self._observed[family] = self.registry.counter(
+                OBSERVED_COUNTER, family=family
+            )
+        counter.inc()
+        over = budget is not None and elapsed > budget
+        if over:
+            self.registry.counter(OVER_BUDGET_COUNTER, family=family).inc()
+        return over
+
+    def latency_quantile(self, family: str, q: Optional[float] = None) -> float:
+        """The measured latency quantile of one family, across all
+        cache outcomes (nan when the family served nothing)."""
+        return self.registry.quantile(
+            REQUEST_HISTOGRAM, self.quantile if q is None else q, family=family
+        )
+
+    def report(self) -> dict:
+        """Attainment per configured family.
+
+        ``{"family": {"target": s, "quantile": 0.99, "measured": s,
+        "met": bool, "over_budget": n, "observed": n}}`` -- ``met`` is
+        True when the family served nothing yet (vacuous attainment)
+        or its measured quantile is inside target.
+        """
+        snap = self.registry.snapshot()["counters"]
+        out: Dict[str, dict] = {}
+        for family, target in sorted(self.targets.items()):
+            measured = self.latency_quantile(family)
+            observed = snap.get(
+                f'{OBSERVED_COUNTER}{{family="{family}"}}', 0.0
+            )
+            over = snap.get(
+                f'{OVER_BUDGET_COUNTER}{{family="{family}"}}', 0.0
+            )
+            out[family] = {
+                "target": target,
+                "quantile": self.quantile,
+                "measured": None if math.isnan(measured) else measured,
+                "met": math.isnan(measured) or measured <= target,
+                "over_budget": over,
+                "observed": observed,
+            }
+        return out

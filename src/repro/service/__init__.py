@@ -10,9 +10,19 @@ asyncio front door with a JSON-over-TCP endpoint
 sketches, problem diffs, change-storm debouncing
 (:mod:`repro.service.delta`), schedule-diff egress
 (:mod:`repro.service.diff`), and a sharded tier -- consistent-hash
-router over forked shard workers (:mod:`repro.service.shard`).  See
-the "Serving" section of README.md.
+router over forked shard workers (:mod:`repro.service.shard`).
+Telemetry rides on :mod:`repro.obs` (metrics registry, per-request
+phase tracing, SLO tracking); the convenience re-exports below let
+serving code configure it without a second import.  See the "Serving"
+and "Observability" sections of README.md.
 """
+from repro.obs import (
+    MetricsRegistry,
+    SLOTracker,
+    default_registry,
+    merge_snapshots,
+    render_prometheus,
+)
 from repro.service.async_front import AsyncSchedulingService, jsonable
 from repro.service.cache import (
     CacheEntry,
@@ -75,8 +85,10 @@ __all__ = [
     "DeltaSyncError",
     "Fingerprint",
     "HashRing",
+    "MetricsRegistry",
     "ProblemDelta",
     "ResultCache",
+    "SLOTracker",
     "ScheduleDelta",
     "ScheduleFollower",
     "SchedulePusher",
@@ -90,11 +102,14 @@ __all__ = [
     "SolveRequest",
     "TOO_DIRTY_FRACTION",
     "apply_delta",
+    "default_registry",
     "delta_key",
     "diff_problems",
     "diff_tables",
     "jsonable",
+    "merge_snapshots",
     "normalize_table",
+    "render_prometheus",
     "problem_canonical_form",
     "problem_fingerprint",
     "report_semantic_digest",

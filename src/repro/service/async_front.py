@@ -62,8 +62,19 @@ request's optional ``id``)::
         "delta": {"outcome": "warm", ...}, "superseded": false, ...}
     -> {"op": "stats"}
     <- {"ok": true, "stats": {...}}
+    -> {"op": "metrics"}
+    <- {"ok": true, "metrics": {"counters": ..., "gauges": ...,
+        "histograms": ...}, "slo": {...}, "text": "# TYPE ..."}
     -> {"op": "invalidate", "epoch_below": 3, "id": 9}
     <- {"ok": true, "id": 9, "dropped": 17}
+
+The ``metrics`` op is the structured telemetry face (see
+:mod:`repro.obs`): a mergeable registry snapshot, the SLO attainment
+report when the wrapped service configured one, and the same snapshot
+rendered as Prometheus text exposition (``text``).  It answers even on
+a telemetry-disabled service -- then it carries just the always-on
+executor/pool series from the process-default registry.  ``stats``
+is unchanged for compatibility.
 
 Three optional request fields extend the solve ops without changing
 the line discipline.  ``"trajectory": name`` (with ``"step": k``)
@@ -91,12 +102,20 @@ kills the connection.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
+try:  # numpy is a core dependency, but jsonable() must not require it
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 from repro.core.engines.backends import shutdown_pools
 from repro.core.problem import Problem
+from repro.obs import render_prometheus
 from repro.service.cache import report_semantic_digest
 from repro.service.delta import ChangeDebouncer, delta_key
 from repro.service.diff import SchedulePusher, schedule_table, table_digest
@@ -120,15 +139,32 @@ def jsonable(value):
     """*value* coerced into strictly JSON-serializable form.
 
     The stats surface aggregates counters from every layer of the
-    service; one layer growing a non-serializable stat (an Enum, a
-    dataclass, a numpy scalar) must degrade that *one* value to its
-    ``repr``, not start answering the whole ``{"op": "stats"}`` wire op
-    with ``ok:false``.  Dicts and sequences recurse; scalars pass
-    through; everything else -- including non-string dict keys, which
-    ``json.dumps`` rejects for tuples -- becomes a string.
+    service, and two classes of values used to repr-degrade when they
+    deserve numbers: **numpy scalars** (the columnar engine's counters
+    leak ``np.int64``, which unlike ``np.float64`` is *not* an ``int``
+    subclass on 64-bit Linux) and **dataclasses** (e.g. a
+    :class:`~repro.service.delta.DeltaStats` riding a stats payload).
+    Numpy scalars now unwrap via ``.item()`` and dataclass instances
+    encode as field dicts, recursively.  Everything still degrades
+    gracefully: an unknown type becomes its ``repr`` -- one weird value
+    must never turn the whole ``{"op": "stats"}`` wire op into
+    ``ok:false``.  Dicts and sequences recurse; non-string dict keys
+    (tuples, which ``json.dumps`` rejects) become strings.
     """
-    if value is None or isinstance(value, (bool, int, float, str)):
+    if value is None or isinstance(value, (bool, str)):
         return value
+    if _np is not None and isinstance(value, _np.generic):
+        # Covers np.bool_/np.integer/np.floating alike; .item() yields
+        # the exact python scalar.  Must precede the int/float check:
+        # np.float64 would pass through it, np.int64 would not.
+        return value.item()
+    if isinstance(value, (int, float)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
     if isinstance(value, dict):
         return {
             k if isinstance(k, str) else repr(k): jsonable(v)
@@ -276,9 +312,13 @@ class AsyncSchedulingService:
                 f"request {request.label or '<unlabeled>'} rejected: "
                 "service is draining"
             )
+        metrics = self.service.metrics
         self._queued += 1
         self._peak_queued = max(self._peak_queued, self._queued)
         self._idle.clear()
+        if metrics is not None:
+            metrics.gauge("repro_admission_queue_depth").set(self._queued)
+            t_arrive = time.perf_counter()
         admitted = False
         try:
             await self._sem.acquire()
@@ -286,6 +326,14 @@ class AsyncSchedulingService:
             self._queued -= 1
             self._active += 1
             self._peak_active = max(self._peak_active, self._active)
+            if metrics is not None:
+                # The semaphore wait *is* the admission queue time --
+                # the saturation signal max_inflight exists to bound.
+                metrics.histogram("repro_admission_wait_seconds").observe(
+                    time.perf_counter() - t_arrive
+                )
+                metrics.gauge("repro_admission_queue_depth").set(self._queued)
+                metrics.gauge("repro_admission_active").set(self._active)
             loop = asyncio.get_running_loop()
             # Two hops: the admission pool runs the (blocking) submit,
             # which returns the request's concurrent future; awaiting
@@ -302,6 +350,9 @@ class AsyncSchedulingService:
                 self._sem.release()
             else:
                 self._queued -= 1
+            if metrics is not None:
+                metrics.gauge("repro_admission_queue_depth").set(self._queued)
+                metrics.gauge("repro_admission_active").set(self._active)
             if self._queued == 0 and self._active == 0:
                 self._idle.set()
 
@@ -475,6 +526,8 @@ class AsyncSchedulingService:
             op = message.get("op")
             if op == "stats":
                 return {"ok": True, "id": req_id, "stats": jsonable(self.stats)}
+            if op == "metrics":
+                return self._wire_metrics(req_id)
             if op == "invalidate":
                 return await self._wire_invalidate(message, req_id)
             if op not in (None, "solve", "solve_delta"):
@@ -523,6 +576,21 @@ class AsyncSchedulingService:
                 "id": req_id,
                 "error": f"{type(exc).__name__}: {exc}",
             }
+
+    def _wire_metrics(self, req_id) -> dict:
+        """The ``metrics`` wire op: one consistent registry snapshot,
+        the SLO attainment report (when configured), and the snapshot's
+        Prometheus text exposition.  Snapshotting is a locked dict copy
+        -- cheap enough for the event loop, and running it off-loop
+        would only add a chance to observe a later state."""
+        snap = self.service.metrics_snapshot()
+        return {
+            "ok": True,
+            "id": req_id,
+            "metrics": jsonable(snap["metrics"]),
+            "slo": jsonable(snap["slo"]),
+            "text": render_prometheus(snap["metrics"]),
+        }
 
     async def _wire_invalidate(self, message: dict, req_id) -> dict:
         """The ``invalidate`` wire op: bulk-drop below a capacity epoch.

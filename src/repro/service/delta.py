@@ -232,6 +232,19 @@ class DeltaStats:
             "layouts_reused": self.layouts_reused,
         }
 
+    def numeric_counters(self) -> dict:
+        """The summable counters of this snapshot -- labels like
+        ``outcome``/``ancestor`` excluded, booleans too (they are ints
+        to ``isinstance``).  This is the exact key set the service
+        folds into ``stats["delta_totals"]`` and into the
+        ``repro_delta_*_total`` metric counters, so a field added here
+        starts accumulating in both without further wiring."""
+        return {
+            k: v
+            for k, v in self.snapshot().items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+
 
 @dataclass
 class _Pending:

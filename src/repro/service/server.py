@@ -38,13 +38,20 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.algorithms.auto import solve_auto
+from repro.algorithms.auto import problem_family, solve_auto
 from repro.algorithms.base import AlgorithmReport
 from repro.core.engines.backends import default_workers, shared_service_pool
 from repro.core.engines.journal import FirstPhaseJournal, journal_context
 from repro.core.problem import Problem
+from repro.obs import (
+    MetricsRegistry,
+    NULL_TRACE,
+    SLOTracker,
+    default_registry,
+    trace_request,
+)
 from repro.service.cache import ResultCache
 from repro.service.delta import (
     DELTA_OUTCOMES,
@@ -203,6 +210,20 @@ class SchedulingService:
         candidate ancestor for :meth:`submit_delta`.  Off by default --
         journals cost memory and a little recording time, and a service
         that never sees delta traffic should pay neither.
+    metrics:
+        Telemetry switch.  ``None`` (default) disables request tracing
+        entirely -- the instrumented path degenerates to no-op spans.
+        ``True`` records into the process-wide
+        :func:`~repro.obs.default_registry`; a
+        :class:`~repro.obs.MetricsRegistry` instance records there
+        instead (test isolation, side-by-side services).  Telemetry is
+        purely additive: it never changes which solver runs or what
+        digest comes back, only what gets counted.
+    slo_targets:
+        Optional per-family p99 latency budgets (seconds) for the
+        :class:`~repro.obs.SLOTracker` riding on the request
+        histograms; requires *metrics*.  ``None`` uses
+        :data:`~repro.obs.DEFAULT_TARGETS` when metrics are on.
     """
 
     def __init__(
@@ -215,12 +236,33 @@ class SchedulingService:
         ttl: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         keep_artifacts: bool = False,
+        metrics: Union[None, bool, MetricsRegistry] = None,
+        slo_targets: Optional[Mapping[str, float]] = None,
     ) -> None:
         self.workers = workers if workers is not None else default_workers()
         if self.workers < 1:
             raise ValueError(f"service workers must be positive, got {self.workers}")
         self.default_knobs = default_knobs
         self.keep_artifacts = keep_artifacts
+        if metrics is None or metrics is False:
+            self.metrics: Optional[MetricsRegistry] = None
+        elif metrics is True:
+            self.metrics = default_registry()
+        else:
+            self.metrics = metrics
+        if self.metrics is not None:
+            self.slo: Optional[SLOTracker] = SLOTracker(
+                self.metrics, targets=slo_targets
+            )
+        elif slo_targets is not None:
+            raise ValueError("slo_targets requires metrics to be enabled")
+        else:
+            self.slo = None
+        #: fingerprint digest -> problem family, telemetry-only: family
+        #: classification is a structural scan of the whole problem,
+        #: too dear to repeat on every cache hit of a hot fingerprint.
+        #: Crude cap-and-clear bound; entries are two tiny strings.
+        self._family_cache: Dict[str, str] = {}
         self.cache = ResultCache(
             capacity=capacity, disk_dir=disk_dir, strict=strict_cache,
             ttl=ttl, clock=clock, keep_artifacts=keep_artifacts,
@@ -246,16 +288,8 @@ class SchedulingService:
         #: snapshot -- a counter added to ``DeltaStats`` later still
         #: shows up in ``stats["delta_totals"]``.
         self._delta_totals: Dict[str, int] = {
-            k: 0 for k, v in DeltaStats(outcome="warm").snapshot().items()
-            if self._is_total(v)
+            k: 0 for k in DeltaStats(outcome="warm").numeric_counters()
         }
-
-    @staticmethod
-    def _is_total(value) -> bool:
-        """Whether a ``DeltaStats.snapshot()`` value is a summable
-        counter (labels like ``outcome``/``ancestor`` are not; neither
-        are booleans, which are ints to ``isinstance``)."""
-        return isinstance(value, (int, float)) and not isinstance(value, bool)
 
     # ------------------------------------------------------------------
     # Submission API
@@ -297,38 +331,61 @@ class SchedulingService:
     def _submit_common(
         self,
         request: SolveRequest,
-        solver: Callable[[SolveRequest, Fingerprint, Future, float], None],
+        solver: Callable[..., None],
     ) -> "Future[ServiceResult]":
         t0 = time.perf_counter()  # latency includes fingerprinting
+        trace = trace_request(self.metrics)
         try:
-            request.knobs.validate()
+            with trace.span("validate"):
+                request.knobs.validate()
         except ValueError as exc:
+            self._finish_request(trace, "error")
             raise ServiceError(
                 f"request {request.label or '<unlabeled>'} rejected: {exc}"
             ) from exc
-        fp = request.fingerprint()
-        with self._lock:
-            self._requests += 1
-            cached = self.cache.get_memory(fp)
-            if cached is not None:
-                return self._resolved(cached, fp, request.label, t0)
-            existing = self._inflight.get(fp.digest)
-            if existing is not None:
-                self._coalesced += 1
-                return self._joined(existing, request.label, t0)
-            fut: "Future[ServiceResult]" = Future()
-            self._inflight[fp.digest] = fut
+        with trace.span("fingerprint"):
+            fp = request.fingerprint()
+            if self.metrics is not None:
+                # Family classification is telemetry-only work: skip it
+                # entirely when off, and cache it per fingerprint so a
+                # hot key's hits do not re-scan the problem structure.
+                family = self._family_cache.get(fp.digest)
+                if family is None:
+                    family = problem_family(request.problem)
+                    if len(self._family_cache) >= 4096:
+                        self._family_cache.clear()
+                    self._family_cache[fp.digest] = family
+                trace.set_family(family)
+        with trace.span("cache_probe"):
+            with self._lock:
+                self._requests += 1
+                cached = self.cache.get_memory(fp)
+                existing = fut = None
+                if cached is None:
+                    existing = self._inflight.get(fp.digest)
+                    if existing is not None:
+                        self._coalesced += 1
+                    else:
+                        fut = Future()
+                        self._inflight[fp.digest] = fut
+        if cached is not None:
+            self._finish_request(trace, "hit")
+            return self._resolved(cached, fp, request.label, t0)
+        if existing is not None:
+            return self._joined(existing, request.label, t0, trace)
         # Tier-2 probe outside the lock (pickle load + digest verify).
         # Duplicates arriving meanwhile coalesce onto `fut`, which the
         # disk hit resolves just like a finished solve would.
         try:
-            entry = self.cache.load_disk(fp)
+            with trace.span("cache_probe"):
+                entry = self.cache.load_disk(fp)
         except Exception as exc:  # strict-mode integrity failures
             # The failure must flow through the future: coalesced
             # duplicates already joined `fut`, and leaving it pending
             # would hang them forever.
             with self._lock:
                 self._inflight.pop(fp.digest, None)
+            self._finish_request(trace, "error")
             fut.set_exception(self._wrap_failure(request, fp, exc))
             return fut
         if entry is not None:
@@ -336,6 +393,7 @@ class SchedulingService:
                 self.cache.stats.disk_hits += 1
                 self.cache.admit(entry)
                 self._inflight.pop(fp.digest, None)
+            self._finish_request(trace, "hit")
             fut.set_result(
                 ServiceResult(
                     report=entry.value,
@@ -348,8 +406,19 @@ class SchedulingService:
             return fut
         with self._lock:
             self.cache.stats.misses += 1
-        shared_service_pool(self.workers).submit(solver, request, fp, fut, t0)
+        with trace.span("dispatch"):
+            shared_service_pool(self.workers).submit(
+                solver, request, fp, fut, t0, trace
+            )
         return fut
+
+    def _finish_request(self, trace, status: str) -> None:
+        """Close one request's trace under its metrics *status* (the
+        cache outcome: hit / coalesced / cold / delta / error) and feed
+        the SLO tracker.  A no-op trace costs two attribute calls."""
+        elapsed = trace.finish(status)
+        if self.slo is not None and trace is not NULL_TRACE and status != "error":
+            self.slo.observe(trace.family, elapsed)
 
     @staticmethod
     def _resolved(
@@ -371,9 +440,12 @@ class SchedulingService:
         )
         return done
 
-    @staticmethod
     def _joined(
-        primary: "Future[ServiceResult]", label: Optional[str], t0: float
+        self,
+        primary: "Future[ServiceResult]",
+        label: Optional[str],
+        t0: float,
+        trace=NULL_TRACE,
     ) -> "Future[ServiceResult]":
         """A coalesced caller's view of the in-flight solve.
 
@@ -381,16 +453,21 @@ class SchedulingService:
         label and latency; a failure propagates the primary's
         :class:`ServiceError` unchanged (it names the request whose
         solve actually ran -- the shared fingerprint in its message is
-        what ties it to this caller).
+        what ties it to this caller).  The caller's trace finishes with
+        status ``coalesced`` when the shared solve resolves, so its
+        recorded latency is the join *wait*, not the primary's solve
+        time.
         """
         joined: "Future[ServiceResult]" = Future()
 
         def relay(done: "Future[ServiceResult]") -> None:
             exc = done.exception()
             if exc is not None:
+                self._finish_request(trace, "error")
                 joined.set_exception(exc)
                 return
             first = done.result()
+            self._finish_request(trace, "coalesced")
             joined.set_result(
                 ServiceResult(
                     report=first.report,
@@ -537,17 +614,35 @@ class SchedulingService:
         while len(bucket) > _DELTA_ANCESTOR_CAP:
             bucket.popitem(last=False)
 
+    def _record_solve(self, trace, elapsed: Optional[float], outcome: str) -> None:
+        """One observation in the outcome-labeled solve histogram --
+        where ``delta`` and ``cold`` solve costs become comparable per
+        family (ROADMAP delta follow-up (d))."""
+        if self.metrics is not None and elapsed is not None:
+            self.metrics.histogram(
+                "repro_service_solve_seconds",
+                family=trace.family,
+                outcome=outcome,
+            ).observe(elapsed)
+
     def _solve_into(
         self,
         request: SolveRequest,
         fp: Fingerprint,
         fut: "Future[ServiceResult]",
         t0: float,
+        trace=NULL_TRACE,
     ) -> None:
         try:
-            journal = FirstPhaseJournal() if self._journals(request.knobs) else None
-            report = self._solve_request(request, journal)
-            self._admit_result(request, fp, report, journal)
+            with trace.span("solve") as solving:
+                journal = (
+                    FirstPhaseJournal() if self._journals(request.knobs) else None
+                )
+                report = self._solve_request(request, journal)
+            self._record_solve(trace, getattr(solving, "elapsed", None), "cold")
+            with trace.span("digest"):
+                self._admit_result(request, fp, report, journal)
+            self._finish_request(trace, "cold")
             fut.set_result(
                 ServiceResult(
                     report=report,
@@ -558,6 +653,7 @@ class SchedulingService:
                 )
             )
         except BaseException as exc:
+            self._finish_request(trace, "error")
             fut.set_exception(self._wrap_failure(request, fp, exc))
         finally:
             # Deregister only after the cache holds the result (or the
@@ -572,31 +668,45 @@ class SchedulingService:
         fp: Fingerprint,
         fut: "Future[ServiceResult]",
         t0: float,
+        trace=NULL_TRACE,
     ) -> None:
         try:
-            report, stats = self._delta_solve(request, fp)
-            snapshot = stats.snapshot()
+            with trace.span("solve") as solving:
+                report, stats = self._delta_solve(request, fp)
+            warm = stats.outcome == "warm"
+            self._record_solve(
+                trace, getattr(solving, "elapsed", None),
+                "delta" if warm else "cold",
+            )
+            counters = stats.numeric_counters()
             with self._lock:
                 self._delta_requests += 1
                 self._delta_outcomes[stats.outcome] += 1
-                # Iterate the *snapshot*, not the totals dict: a counter
-                # later added to DeltaStats.snapshot() must start
+                # Iterate the live counters, not the totals dict: a
+                # counter later added to DeltaStats must start
                 # accumulating here, not be silently dropped because the
                 # totals were seeded from an older key set.
-                for k, v in snapshot.items():
-                    if self._is_total(v):
-                        self._delta_totals[k] = self._delta_totals.get(k, 0) + v
+                for k, v in counters.items():
+                    self._delta_totals[k] = self._delta_totals.get(k, 0) + v
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_delta_requests_total", outcome=stats.outcome
+                ).inc()
+                for k, v in counters.items():
+                    self.metrics.counter(f"repro_delta_{k}_total").inc(v)
+            self._finish_request(trace, "delta" if warm else "cold")
             fut.set_result(
                 ServiceResult(
                     report=report,
                     fingerprint=fp,
-                    status="delta" if stats.outcome == "warm" else "miss",
+                    status="delta" if warm else "miss",
                     latency_s=time.perf_counter() - t0,
                     label=request.label,
                     delta=stats,
                 )
             )
         except BaseException as exc:
+            self._finish_request(trace, "error")
             fut.set_exception(self._wrap_failure(request, fp, exc))
         finally:
             with self._lock:
@@ -777,3 +887,19 @@ class SchedulingService:
                 "delta_totals": dict(self._delta_totals),
                 "ancestor_buckets": len(self._delta_index),
             }
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The registry this service records into -- the process
+        default when telemetry is off, so ``{"op": "metrics"}`` always
+        answers (executor/backend gauges land there regardless)."""
+        return self.metrics if self.metrics is not None else default_registry()
+
+    def metrics_snapshot(self) -> dict:
+        """A consistent jsonable snapshot of the service's metrics,
+        with the SLO attainment report alongside when SLO tracking is
+        configured."""
+        snap = self.metrics_registry().snapshot()
+        return {
+            "metrics": snap,
+            "slo": self.slo.report() if self.slo is not None else None,
+        }

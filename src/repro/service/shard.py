@@ -61,6 +61,7 @@ from concurrent.futures import ThreadPoolExecutor
 from itertools import count
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import default_registry, merge_snapshots, render_prometheus
 from repro.service.async_front import (
     WIRE_LINE_LIMIT,
     AsyncSchedulingService,
@@ -149,12 +150,19 @@ class HashRing:
 # ----------------------------------------------------------------------
 # Shard worker processes
 # ----------------------------------------------------------------------
-def _shard_serve(conn, service_kwargs: dict, host: str) -> None:
-    """Body of one shard worker: serve until the parent says stop."""
+def _shard_serve(conn, service_kwargs: dict, host: str, port: int = 0) -> None:
+    """Body of one shard worker: serve until the parent says stop.
+
+    ``port=0`` binds an ephemeral port (fresh starts);
+    :meth:`ShardCluster.restart` passes a dead shard's *original* port
+    so the worker comes back at the address the router already knows
+    (``asyncio.start_server`` sets ``SO_REUSEADDR`` on POSIX, so the
+    killed predecessor's lingering socket does not block the bind).
+    """
 
     async def main() -> None:
         front = AsyncSchedulingService(**service_kwargs)
-        bound = await front.serve(host=host, port=0)
+        bound = await front.serve(host=host, port=port)
         conn.send(bound)
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
@@ -173,12 +181,12 @@ def _shard_serve(conn, service_kwargs: dict, host: str) -> None:
     asyncio.run(main())
 
 
-def _shard_worker_main(conn, service_kwargs: dict, host: str) -> None:
+def _shard_worker_main(conn, service_kwargs: dict, host: str, port: int = 0) -> None:
     # Fresh fork: the backends register_at_fork hook already cleared
     # the inherited warm-pool registries, so this child builds its own
     # executors instead of deadlocking on the parent's dead threads.
     try:
-        _shard_serve(conn, service_kwargs, host)
+        _shard_serve(conn, service_kwargs, host, port)
     except KeyboardInterrupt:
         pass
 
@@ -244,6 +252,45 @@ class ShardCluster:
         if proc.is_alive():
             proc.kill()
         proc.join(timeout=10)
+
+    def restart(self, index: int) -> Tuple[str, int]:
+        """Re-fork one dead shard on its *original* address.
+
+        The recovery half of :meth:`kill`: the replacement worker binds
+        the same ``(host, port)`` the dead shard held, so a router that
+        knew the old address can re-admit the shard via
+        :meth:`ShardRouter.reprobe` without being reconstructed.  The
+        replacement is a fresh process -- empty memory tier, but a
+        shared ``disk_dir`` hands its old results straight back.
+        """
+        if not self.addresses:
+            raise RuntimeError("cluster not started")
+        if self._procs[index].is_alive():
+            raise RuntimeError(
+                f"shard {index} is still alive; kill() or stop() it first"
+            )
+        host, port = self.addresses[index]
+        try:
+            self._pipes[index].close()
+        except OSError:
+            pass
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, self.service_kwargs, host, port),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        if not parent_conn.poll(self.start_timeout):
+            raise RuntimeError(
+                f"restarted shard {index} did not report its address"
+            )
+        bound = tuple(parent_conn.recv())
+        self._procs[index] = proc
+        self._pipes[index] = parent_conn
+        self.addresses[index] = bound
+        return bound
 
     def stop(self) -> None:
         """Graceful stop: signal every live worker, then reap."""
@@ -415,6 +462,11 @@ class ShardRouter:
         How many request->digest routing decisions to memoize (the
         digest requires building the workload; replayed traffic skips
         that).
+    reprobe_interval:
+        Seconds between automatic :meth:`reprobe` sweeps over dead
+        shards (the task starts with :meth:`serve`); ``None`` (the
+        default) disables the periodic task -- :meth:`reprobe` and the
+        ``{"op": "reprobe"}`` wire op still work on demand.
     """
 
     def __init__(
@@ -422,7 +474,12 @@ class ShardRouter:
         addresses: Sequence[Tuple[str, int]],
         vnodes: int = 64,
         route_cache_size: int = 2048,
+        reprobe_interval: Optional[float] = None,
     ) -> None:
+        if reprobe_interval is not None and reprobe_interval <= 0:
+            raise ValueError(
+                f"reprobe_interval must be positive, got {reprobe_interval}"
+            )
         if not addresses:
             raise ValueError("a router needs at least one shard address")
         self._links: Dict[str, _ShardLink] = {}
@@ -442,8 +499,11 @@ class ShardRouter:
         self._routed = 0
         self._route_hits = 0
         self._reroutes = 0
+        self._rejoins = 0
         self._dead: Set[str] = set()
         self._pushers: Set[SchedulePusher] = set()
+        self.reprobe_interval = reprobe_interval
+        self._reprobe_task: Optional[asyncio.Task] = None
 
     # -- lifecycle -----------------------------------------------------
     async def serve(
@@ -455,11 +515,20 @@ class ShardRouter:
         self._server = await asyncio.start_server(
             self._handle_client, host, port, limit=WIRE_LINE_LIMIT
         )
+        if self.reprobe_interval is not None:
+            self._reprobe_task = asyncio.ensure_future(self._reprobe_loop())
         sock = self._server.sockets[0].getsockname()
         return sock[0], sock[1]
 
     async def aclose(self) -> None:
         """Stop listening, settle in-flight requests, close the links."""
+        if self._reprobe_task is not None:
+            self._reprobe_task.cancel()
+            try:
+                await self._reprobe_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reprobe_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -589,6 +658,14 @@ class ShardRouter:
             op = message.get("op")
             if op == "stats":
                 return {"ok": True, "id": req_id, "stats": await self._stats()}
+            if op == "metrics":
+                return {"ok": True, "id": req_id, **await self._metrics()}
+            if op == "reprobe":
+                return {
+                    "ok": True,
+                    "id": req_id,
+                    "rejoined": await self.reprobe(),
+                }
             if op == "invalidate":
                 dropped = await self._broadcast_invalidate(message)
                 return {"ok": True, "id": req_id, "dropped": dropped}
@@ -657,6 +734,53 @@ class ShardRouter:
             self._dead.add(shard_id)
             self._ring.remove(shard_id)
             self._reroutes += 1
+
+    # -- health re-probing ---------------------------------------------
+    async def reprobe(self) -> List[str]:
+        """Try to re-admit every dead shard; returns the rejoined ids.
+
+        For each shard marked dead, open a *fresh* link to its recorded
+        address and probe it with ``{"op": "stats"}``.  A shard that
+        answers (e.g. one restarted via :meth:`ShardCluster.restart`)
+        replaces its dead link and rejoins the :class:`HashRing` -- its
+        old keys re-home back to it, and with a shared disk tier they
+        arrive warm.  A shard that stays unreachable stays dead; the
+        probe is the only cost.  Counted in ``ring_rejoins`` (stats)
+        and ``repro_router_ring_rejoins_total`` (metrics).
+        """
+        rejoined: List[str] = []
+        for shard_id in sorted(self._dead):
+            old = self._links[shard_id]
+            link = _ShardLink(shard_id, old.host, old.port)
+            try:
+                response = await link.request({"op": "stats"})
+            except ShardUnavailable:
+                await link.close()
+                continue
+            if not response.get("ok"):
+                await link.close()
+                continue
+            await old.close()
+            self._links[shard_id] = link
+            self._dead.discard(shard_id)
+            self._ring.add(shard_id)
+            self._rejoins += 1
+            default_registry().counter(
+                "repro_router_ring_rejoins_total"
+            ).inc()
+            rejoined.append(shard_id)
+        return rejoined
+
+    async def _reprobe_loop(self) -> None:
+        """The optional periodic reprobe task (``reprobe_interval``)."""
+        while True:
+            await asyncio.sleep(self.reprobe_interval)
+            try:
+                await self.reprobe()
+            except Exception:
+                # A failed sweep must not kill the loop; the next tick
+                # simply probes again.
+                pass
 
     async def _route_digest(self, message: dict) -> str:
         """The solve-fingerprint digest that keys routing.
@@ -754,6 +878,7 @@ class ShardRouter:
                     "routed": self._routed,
                     "route_cache_hits": self._route_hits,
                     "reroutes": self._reroutes,
+                    "ring_rejoins": self._rejoins,
                     "connections": len(self._writers),
                     "egress": egress,
                 },
@@ -761,3 +886,51 @@ class ShardRouter:
                 "aggregate": aggregate,
             }
         )
+
+    async def _metrics(self) -> dict:
+        """The cluster-wide ``metrics`` op: fan out, merge bucket-wise.
+
+        Each live shard answers its own ``{"op": "metrics"}``; the
+        per-shard snapshots merge by counter addition and **bucket-wise
+        histogram addition** (exact, because every histogram shares the
+        fixed :data:`~repro.obs.LATENCY_BUCKETS` bounds) into one
+        cluster view, which also renders as Prometheus text.  The
+        per-shard breakdown rides alongside, so a latency regression is
+        attributable to the shard that caused it.
+        """
+        shards = []
+        snapshots = []
+        for link in self._live_links():
+            try:
+                response = await link.request({"op": "metrics"})
+            except ShardUnavailable:
+                self._mark_dead(link.shard_id)
+                continue
+            if not response.get("ok"):
+                raise RuntimeError(
+                    f"shard {link.shard_id} metrics failed: "
+                    f"{response.get('error')}"
+                )
+            snap = response.get("metrics") or {}
+            snapshots.append(snap)
+            shards.append(
+                {
+                    "shard": link.shard_id,
+                    "metrics": snap,
+                    "slo": response.get("slo"),
+                }
+            )
+        cluster = merge_snapshots(snapshots)
+        return {
+            "cluster": cluster,
+            "shards": shards,
+            "router": jsonable(
+                {
+                    "shards_live": len(self._ring),
+                    "shards_dead": sorted(self._dead),
+                    "reroutes": self._reroutes,
+                    "ring_rejoins": self._rejoins,
+                }
+            ),
+            "text": render_prometheus(cluster),
+        }

@@ -1,0 +1,162 @@
+"""Concurrent stats/metrics reads mid-solve-storm.
+
+The registry's contract is that snapshots are internally consistent
+(taken under the registry lock): no snapshot may show a torn histogram
+(``sum(counts) != count`` or ``sum`` inconsistent with ``count == 0``),
+and counters must read monotone across successive snapshots from one
+observer.  These tests hammer ``{"op": "stats"}`` and
+``{"op": "metrics"}`` from multiple connections while a solve storm is
+in flight, which is exactly when a torn read would surface.
+
+No ``pytest-asyncio``: each test drives its own loop with
+``asyncio.run``.
+"""
+import asyncio
+import json
+
+from repro.obs import MetricsRegistry
+from repro.service import AsyncSchedulingService
+
+KNOBS = dict(engine="incremental", mis="greedy", epsilon=0.25)
+
+POLLERS = 3
+STORM = 10
+
+
+async def _rpc(reader, writer, message):
+    writer.write(json.dumps(message).encode("utf-8") + b"\n")
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+async def _storm(host, port, done):
+    """Pipeline STORM distinct solves on one connection, then flag."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for i in range(STORM):
+            wire = {
+                "id": i,
+                "workload": "bursty-lines",
+                "size": 10 + i,
+                "seed": 1 + (i % 3),
+                "knobs": KNOBS,
+            }
+            writer.write(json.dumps(wire).encode("utf-8") + b"\n")
+        await writer.drain()
+        responses = [
+            json.loads(await reader.readline()) for _ in range(STORM)
+        ]
+    finally:
+        done.set()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    return responses
+
+
+async def _poll(host, port, op, done, min_polls=5):
+    """Poll one wire op on a dedicated connection until the storm ends
+    (at least *min_polls* times); returns the responses in order."""
+    reader, writer = await asyncio.open_connection(host, port)
+    polls = []
+    try:
+        while len(polls) < min_polls or not done.is_set():
+            polls.append(
+                await _rpc(reader, writer, {"id": len(polls), "op": op})
+            )
+            await asyncio.sleep(0)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    return polls
+
+
+def _assert_untorn(snapshot):
+    for key, h in snapshot["histograms"].items():
+        assert sum(h["counts"]) == h["count"], (
+            f"torn histogram snapshot for {key}: "
+            f"sum(counts)={sum(h['counts'])} != count={h['count']}"
+        )
+        if h["count"] == 0:
+            assert h["sum"] == 0.0
+        else:
+            assert h["min"] is not None and h["max"] is not None
+            assert h["min"] <= h["max"]
+
+
+class TestConcurrentReads:
+    def test_metrics_snapshots_are_untorn_and_monotone(self):
+        async def run():
+            front = AsyncSchedulingService(
+                capacity=16, workers=2, metrics=MetricsRegistry()
+            )
+            host, port = await front.serve()
+            done = asyncio.Event()
+            storm, *poller_results = await asyncio.gather(
+                _storm(host, port, done),
+                *[
+                    _poll(host, port, "metrics", done)
+                    for _ in range(POLLERS)
+                ],
+            )
+            await front.drain()
+            final = front.service.metrics_snapshot()["metrics"]
+            return storm, poller_results, final
+
+        storm, poller_results, final = asyncio.run(run())
+        assert all(r["ok"] for r in storm)
+        for polls in poller_results:
+            assert len(polls) >= 5
+            assert all(p["ok"] for p in polls)
+            for p in polls:
+                _assert_untorn(p["metrics"])
+            # Counters read monotone across successive snapshots taken
+            # by the same observer.
+            for earlier, later in zip(polls, polls[1:]):
+                for key, value in earlier["metrics"]["counters"].items():
+                    assert later["metrics"]["counters"].get(key, 0) >= value, (
+                        f"counter {key} moved backwards"
+                    )
+            # ... and the drained service's final state dominates every
+            # mid-storm read.
+            last = polls[-1]["metrics"]["counters"]
+            for key, value in last.items():
+                assert final["counters"].get(key, 0) >= value
+        _assert_untorn(final)
+        requests_total = sum(
+            v
+            for k, v in final["counters"].items()
+            if k.startswith("repro_service_requests_total")
+        )
+        assert requests_total == STORM
+
+    def test_stats_and_metrics_interleave_mid_storm(self):
+        async def run():
+            front = AsyncSchedulingService(
+                capacity=16, workers=2, metrics=MetricsRegistry()
+            )
+            host, port = await front.serve()
+            done = asyncio.Event()
+            storm, stats_polls, metrics_polls = await asyncio.gather(
+                _storm(host, port, done),
+                _poll(host, port, "stats", done),
+                _poll(host, port, "metrics", done),
+            )
+            await front.drain()
+            return storm, stats_polls, metrics_polls
+
+        storm, stats_polls, metrics_polls = asyncio.run(run())
+        assert all(r["ok"] for r in storm)
+        assert all(p["ok"] and "service" in p["stats"] for p in stats_polls)
+        for p in metrics_polls:
+            _assert_untorn(p["metrics"])
+        # The service-level request counter in stats is monotone too.
+        requests = [
+            p["stats"]["service"]["requests"] for p in stats_polls
+        ]
+        assert requests == sorted(requests)

@@ -1,0 +1,385 @@
+"""Unit suite for the :mod:`repro.obs` telemetry primitives.
+
+Covers the three instrument kinds and their registry (labeled series,
+kind conflicts, consistent snapshots), bucket-wise snapshot merging
+(the shard router's cluster view), quantile estimation over the fixed
+log-spaced buckets, the Prometheus text exposition, per-request phase
+tracing, and the SLO tracker riding on the request histograms.
+"""
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TARGETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_TRACE,
+    SLOTracker,
+    Trace,
+    default_registry,
+    merge_snapshots,
+    parse_series_key,
+    quantile_from_histogram,
+    render_prometheus,
+    series_key,
+    trace_request,
+)
+from repro.obs.trace import PHASE_HISTOGRAM, REQUEST_HISTOGRAM
+
+
+class TestSeriesKeys:
+    def test_unlabeled_is_bare_name(self):
+        assert series_key("repro_requests_total", {}) == "repro_requests_total"
+
+    def test_labels_sorted_and_quoted(self):
+        key = series_key("m", {"b": "2", "a": "1"})
+        assert key == 'm{a="1",b="2"}'
+
+    def test_label_order_never_forks_series(self):
+        reg = MetricsRegistry()
+        reg.counter("m", x="1", y="2").inc()
+        reg.counter("m", y="2", x="1").inc()
+        assert reg.snapshot()["counters"] == {'m{x="1",y="2"}': 2.0}
+
+    def test_parse_inverts(self):
+        name, labels = parse_series_key('m{a="1",b="2"}')
+        assert name == "m" and labels == {"a": "1", "b": "2"}
+        assert parse_series_key("bare") == ("bare", {})
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert reg.snapshot()["counters"]["c"] == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert reg.snapshot()["gauges"]["g"] == 3.0
+
+    def test_histogram_buckets_sum_count_minmax(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (0.0002, 0.0002, 0.3, 70.0):
+            h.observe(v)
+        snap = reg.snapshot()["histograms"]["h"]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(0.0002 + 0.0002 + 0.3 + 70.0)
+        assert snap["min"] == pytest.approx(0.0002)
+        assert snap["max"] == pytest.approx(70.0)
+        assert sum(snap["counts"]) == snap["count"]
+        # 0.0002 lands in the (0.0001, 0.00025] bucket; 70 in +inf.
+        assert snap["counts"][1] == 2
+        assert snap["counts"][-1] == 1
+
+    def test_latency_buckets_fixed_and_increasing(self):
+        assert LATENCY_BUCKETS[-1] == math.inf
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert len(set(LATENCY_BUCKETS)) == len(LATENCY_BUCKETS)
+
+    def test_histogram_bounds_must_end_in_inf(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="inf"):
+            reg.histogram("bad", bounds=(1.0, 2.0))
+
+    def test_histogram_bounds_conflict(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0, math.inf))
+        with pytest.raises(ValueError, match="different bounds"):
+            reg.histogram("h", bounds=(2.0, math.inf))
+
+    def test_same_series_is_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", a="1") is reg.counter("c", a="1")
+        assert reg.counter("c", a="1") is not reg.counter("c", a="2")
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="already a counter"):
+            reg.gauge("m")
+        with pytest.raises(ValueError, match="already a counter"):
+            reg.histogram("m")
+
+    def test_snapshot_is_jsonable_and_detached(self):
+        reg = MetricsRegistry()
+        reg.counter("c", kind="x").inc()
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        json.dumps(snap)  # strictly serializable
+        reg.counter("c", kind="x").inc(41)
+        assert snap["counters"]['c{kind="x"}'] == 1.0  # copy, not view
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(1)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+        # And the name is free to re-register as a different kind.
+        reg.gauge("c").set(2)
+
+    def test_default_registry_is_process_wide(self):
+        assert default_registry() is default_registry()
+
+    def test_concurrent_observes_never_tear(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                h.observe(0.01)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                snap = reg.snapshot()["histograms"]["h"]
+                assert sum(snap["counts"]) == snap["count"]
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+
+class TestMerge:
+    def test_counters_and_gauges_add(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("c", s="0").inc(2)
+        b.counter("c", s="0").inc(3)
+        b.counter("only_b").inc()
+        a.gauge("g").set(1)
+        b.gauge("g").set(4)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]['c{s="0"}'] == 5.0
+        assert merged["counters"]["only_b"] == 1.0
+        assert merged["gauges"]["g"] == 5.0
+
+    def test_histograms_add_bucket_wise(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for v in (0.002, 0.2):
+            a.histogram("h").observe(v)
+        for v in (0.002, 30.0):
+            b.histogram("h").observe(v)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])["histograms"]["h"]
+        assert merged["count"] == 4
+        assert merged["sum"] == pytest.approx(0.002 + 0.2 + 0.002 + 30.0)
+        assert merged["min"] == pytest.approx(0.002)
+        assert merged["max"] == pytest.approx(30.0)
+        single = MetricsRegistry()
+        for v in (0.002, 0.2, 0.002, 30.0):
+            single.histogram("h").observe(v)
+        assert merged["counts"] == single.snapshot()["histograms"]["h"]["counts"]
+
+    def test_mismatched_bounds_refuse_to_merge(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("h", bounds=(1.0, math.inf)).observe(0.5)
+        b.histogram("h", bounds=(2.0, math.inf)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_of_none_is_empty(self):
+        assert merge_snapshots([]) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestQuantiles:
+    def test_empty_is_nan(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        assert math.isnan(reg.quantile("h", 0.5))
+        assert math.isnan(reg.quantile("missing", 0.5))
+
+    def test_identical_observations_answer_exactly(self):
+        reg = MetricsRegistry()
+        for _ in range(100):
+            reg.histogram("h").observe(0.04)
+        assert reg.quantile("h", 0.5) == pytest.approx(0.04, rel=1e-9)
+        assert reg.quantile("h", 0.99) == pytest.approx(0.04, rel=1e-9)
+
+    def test_interpolation_brackets_the_true_quantile(self):
+        reg = MetricsRegistry()
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s uniform
+        for v in values:
+            reg.histogram("h").observe(v)
+        p99 = reg.quantile("h", 0.99)
+        # True p99 is ~0.99; the estimate must land inside the owning
+        # bucket (0.5, 1.0].
+        assert 0.5 <= p99 <= 1.0
+
+    def test_label_filter_merges_matching_series(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", family="line", status="hit").observe(0.01)
+        reg.histogram("h", family="line", status="cold").observe(0.01)
+        reg.histogram("h", family="tree", status="hit").observe(10.0)
+        # family=line spans both line series, ignores the tree one.
+        assert reg.quantile("h", 0.99, family="line") < 1.0
+        assert reg.quantile("h", 0.99, family="tree") > 1.0
+
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            quantile_from_histogram(
+                {"bounds": ["+inf"], "counts": [1], "sum": 1, "count": 1,
+                 "min": 1, "max": 1},
+                1.5,
+            )
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_requests_total", status="hit").inc(3)
+        reg.gauge("repro_queue_depth").set(2)
+        text = render_prometheus(reg.snapshot())
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{status="hit"} 3.0' in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 2.0" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1.0, 2.0, math.inf), f="x")
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        text = render_prometheus(reg.snapshot())
+        assert '# TYPE h histogram' in text
+        assert 'h_bucket{f="x",le="1.0"} 1' in text
+        assert 'h_bucket{f="x",le="2.0"} 2' in text
+        assert 'h_bucket{f="x",le="+Inf"} 3' in text
+        assert 'h_sum{f="x"} 5.0' in text
+        assert 'h_count{f="x"} 3' in text
+
+    def test_renders_merged_snapshots(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("c").inc()
+        b.counter("c").inc()
+        text = render_prometheus(merge_snapshots([a.snapshot(), b.snapshot()]))
+        assert "c 2.0" in text
+
+
+class TestTracing:
+    def test_spans_record_into_phase_histogram(self):
+        reg = MetricsRegistry()
+        trace = trace_request(reg, family="tree")
+        with trace.span("validate"):
+            pass
+        with trace.span("solve"):
+            pass
+        elapsed = trace.finish("cold")
+        assert elapsed > 0
+        snap = reg.snapshot()
+        hists = snap["histograms"]
+        assert hists[f'{PHASE_HISTOGRAM}{{family="tree",phase="validate"}}'][
+            "count"
+        ] == 1
+        assert hists[f'{PHASE_HISTOGRAM}{{family="tree",phase="solve"}}'][
+            "count"
+        ] == 1
+        assert hists[f'{REQUEST_HISTOGRAM}{{family="tree",status="cold"}}'][
+            "count"
+        ] == 1
+        assert snap["counters"][
+            'repro_service_requests_total{family="tree",status="cold"}'
+        ] == 1.0
+
+    def test_finish_is_idempotent(self):
+        reg = MetricsRegistry()
+        trace = Trace(reg, family="line")
+        trace.finish("hit")
+        trace.finish("error")  # defensive second finish: ignored
+        hists = reg.snapshot()["histograms"]
+        assert len(hists) == 1
+        assert hists[f'{REQUEST_HISTOGRAM}{{family="line",status="hit"}}'][
+            "count"
+        ] == 1
+
+    def test_span_records_even_when_body_raises(self):
+        reg = MetricsRegistry()
+        trace = Trace(reg, family="line")
+        with pytest.raises(RuntimeError):
+            with trace.span("solve"):
+                raise RuntimeError("boom")
+        key = f'{PHASE_HISTOGRAM}{{family="line",phase="solve"}}'
+        assert reg.snapshot()["histograms"][key]["count"] == 1
+
+    def test_set_family_relabels(self):
+        reg = MetricsRegistry()
+        trace = trace_request(reg)
+        trace.set_family("line")
+        trace.finish("hit")
+        assert (
+            f'{REQUEST_HISTOGRAM}{{family="line",status="hit"}}'
+            in reg.snapshot()["histograms"]
+        )
+
+    def test_null_trace_records_nothing(self):
+        trace = trace_request(None)
+        assert trace is NULL_TRACE
+        with trace.span("solve"):
+            pass
+        trace.set_family("line")
+        assert trace.finish("cold") == 0.0
+
+
+class TestSLOTracker:
+    def test_over_budget_counting(self):
+        reg = MetricsRegistry()
+        slo = SLOTracker(reg, targets={"line": 0.1})
+        assert slo.observe("line", 0.05) is False
+        assert slo.observe("line", 0.5) is True
+        assert slo.observe("tree", 99.0) is False  # no budget configured
+        counters = reg.snapshot()["counters"]
+        assert counters['repro_slo_over_budget_total{family="line"}'] == 1.0
+        assert counters['repro_slo_requests_total{family="line"}'] == 2.0
+        assert counters['repro_slo_requests_total{family="tree"}'] == 1.0
+
+    def test_report_reads_request_histograms(self):
+        reg = MetricsRegistry()
+        slo = SLOTracker(reg, targets={"line": 1.0, "tree": 1.0})
+        for _ in range(20):
+            reg.histogram(REQUEST_HISTOGRAM, family="line", status="hit").observe(
+                0.01
+            )
+            slo.observe("line", 0.01)
+        report = slo.report()
+        assert report["line"]["met"] is True
+        assert report["line"]["measured"] == pytest.approx(0.01, rel=0.5)
+        assert report["line"]["observed"] == 20.0
+        assert report["line"]["over_budget"] == 0.0
+        # tree served nothing: vacuously met, measured is None.
+        assert report["tree"]["met"] is True
+        assert report["tree"]["measured"] is None
+        json.dumps(report)
+
+    def test_default_targets_cover_both_families(self):
+        reg = MetricsRegistry()
+        slo = SLOTracker(reg)
+        assert set(slo.targets) == set(DEFAULT_TARGETS) == {"line", "tree"}
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            SLOTracker(MetricsRegistry(), quantile=0.0)

@@ -260,3 +260,149 @@ class TestShardDeath:
         # replay is a hit, and re-homed keys re-solved as misses.
         statuses = {after[s]["status"] for s in sizes}
         assert "hit" in statuses
+
+
+class TestReprobe:
+    def test_restarted_shard_rejoins_without_router_restart(self):
+        sizes = range(14, 18)
+
+        async def run():
+            with ShardCluster(shards=2, capacity=32, workers=2) as cluster:
+                router = ShardRouter(cluster.addresses)
+                host, port = await router.serve()
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    before = {}
+                    for i, size in enumerate(sizes):
+                        before[size] = await rpc(
+                            reader, writer, wire(size=size, id=i)
+                        )
+                    cluster.kill(0)
+                    # Traffic against the dead shard makes the router
+                    # notice and remove it from the ring.
+                    for i, size in enumerate(sizes):
+                        await rpc(reader, writer, wire(size=size, id=50 + i))
+                    mid = await rpc(reader, writer, {"op": "stats", "id": 98})
+                    cluster.restart(0)
+                    probe = await rpc(
+                        reader, writer, {"op": "reprobe", "id": 99}
+                    )
+                    after_stats = await rpc(
+                        reader, writer, {"op": "stats", "id": 100}
+                    )
+                    served = {}
+                    for i, size in enumerate(sizes):
+                        served[size] = await rpc(
+                            reader, writer, wire(size=size, id=200 + i)
+                        )
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except Exception:
+                        pass
+                    await router.aclose()
+                return before, mid, probe, after_stats, served
+
+        before, mid, probe, after_stats, served = asyncio.run(run())
+        assert mid["stats"]["router"]["shards_dead"] == ["shard-0"]
+        assert probe["ok"] and probe["rejoined"] == ["shard-0"], (
+            "a restarted shard at its old address must rejoin on reprobe"
+        )
+        router_stats = after_stats["stats"]["router"]
+        assert router_stats["shards_dead"] == []
+        assert router_stats["shards_live"] == 2
+        assert router_stats["ring_rejoins"] == 1
+        assert len(after_stats["stats"]["shards"]) == 2
+        for size in sizes:
+            assert served[size]["ok"]
+            assert (
+                served[size]["semantic_digest"]
+                == before[size]["semantic_digest"]
+            ), "a rejoined shard must serve the bit-identical artifact"
+
+    def test_periodic_reprobe_task_rejoins_automatically(self):
+        async def run():
+            with ShardCluster(shards=2, capacity=32, workers=2) as cluster:
+                router = ShardRouter(
+                    cluster.addresses, reprobe_interval=0.05
+                )
+                host, port = await router.serve()
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    for i, size in enumerate(range(14, 18)):
+                        await rpc(reader, writer, wire(size=size, id=i))
+                    cluster.kill(0)
+                    for i, size in enumerate(range(14, 18)):
+                        await rpc(reader, writer, wire(size=size, id=50 + i))
+                    cluster.restart(0)
+                    # The periodic task should rejoin the shard without
+                    # any explicit reprobe call; poll stats briefly.
+                    for _ in range(100):
+                        stats = await rpc(
+                            reader, writer, {"op": "stats", "id": 99}
+                        )
+                        if not stats["stats"]["router"]["shards_dead"]:
+                            return stats
+                        await asyncio.sleep(0.05)
+                    return stats
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except Exception:
+                        pass
+                    await router.aclose()
+
+        stats = asyncio.run(run())
+        router_stats = stats["stats"]["router"]
+        assert router_stats["shards_dead"] == []
+        assert router_stats["ring_rejoins"] == 1
+
+
+class TestClusterMetrics:
+    def test_metrics_op_merges_shard_histograms_bucket_wise(self):
+        async def run():
+            with ShardCluster(
+                shards=2, capacity=32, workers=2, metrics=True
+            ) as cluster:
+                router = ShardRouter(cluster.addresses)
+                host, port = await router.serve()
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    for i in range(12):
+                        await rpc(reader, writer, wire(size=14 + i, id=i))
+                    return await rpc(
+                        reader, writer, {"op": "metrics", "id": 99}
+                    )
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except Exception:
+                        pass
+                    await router.aclose()
+
+        response = asyncio.run(run())
+        assert response["ok"] and response["id"] == 99
+        name = "repro_service_request_seconds"
+
+        def request_count(snapshot):
+            return sum(
+                h["count"]
+                for key, h in snapshot["histograms"].items()
+                if key.startswith(name)
+            )
+
+        shards = response["shards"]
+        assert len(shards) == 2
+        per_shard = [request_count(s["metrics"]) for s in shards]
+        assert sum(per_shard) >= 12
+        assert all(c > 0 for c in per_shard), (
+            "12 distinct keys over 2 shards must exercise both"
+        )
+        assert request_count(response["cluster"]) == sum(per_shard), (
+            "the cluster view must be the bucket-wise sum of the shards"
+        )
+        assert f"# TYPE {name} histogram" in response["text"]
+        assert response["router"]["shards_live"] == 2
