@@ -1,0 +1,207 @@
+"""E23 -- the second-phase admission engines: pop speed and delta replay.
+
+Claim reproduced: the second phase -- the reversed-stack greedy pop --
+is an engine seam just like the first phase.  The three
+implementations behind ``phase2_engine=``
+(:mod:`repro.core.engines.admission`) are **bit-identical** (asserted
+on every measured pop, not sampled), and the seam pays twice:
+
+* **Raw speed** -- the ``vectorized`` pop trades the per-instance
+  ledger loop for one columnar fits-check per batch; the ``sliced``
+  pop partitions the stack into capacity-disjoint components and pops
+  them on the executor backends.  The table reports median pop latency
+  per (workload, size) for all three engines on solver-emitted stacks.
+* **Delta serving** -- with artifacts kept, the admission journal
+  records each component's signed inputs and selections, so a delta
+  solve replays every component churn did not touch.  The delta arm
+  replays a ``tenant-churn`` trajectory and reports the admission
+  component replay fraction.
+
+Acceptance (asserted): every engine's pop equals the served solution
+bit-for-bit; the delta arm replays >= ``MIN_REPLAY_FRACTION`` (0.5) of
+its admission components with every snapshot digest-identical to a
+cold solve.  ``--quick`` runs the CI-sized sweep; ``--json OUT`` emits
+findings JSON.
+"""
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import emit_json, parse_bench_args, table
+
+from repro.algorithms import solve_auto
+from repro.core.engines.admission import run_second_phase, stack_components
+from repro.service import (
+    SchedulingService,
+    SolveKnobs,
+    SolveRequest,
+    report_semantic_digest,
+)
+from repro.workloads import build_trajectory, build_workload
+
+#: (workload, sizes) pop-speed plans -- one tree family, one line
+#: family, the two shapes with the most distinct stack structure.
+FULL_WORKLOADS = (
+    ("multi-tenant-forest", (60, 120, 180)),
+    ("bursty-lines", (24, 48)),
+)
+QUICK_WORKLOADS = (
+    ("multi-tenant-forest", (60,)),
+    ("bursty-lines", (24,)),
+)
+ENGINES = ("reference", "sliced", "vectorized")
+SEED = 23
+#: Delta arm: trajectory, size, steps (quick halves the steps).
+DELTA_PLAN = ("tenant-churn", 64, 12)
+#: Required admission-component replay fraction across the delta arm's
+#: warm solves (churn touches a few components; the rest must replay).
+MIN_REPLAY_FRACTION = 0.5
+KNOBS = dict(engine="incremental", mis="greedy", epsilon=0.25)
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _pop_arm(name: str, size: int, repeats: int):
+    """Time the three admission engines on one solver-emitted stack."""
+    report = solve_auto(build_workload(name, size, seed=SEED), seed=SEED, **KNOBS)
+    stack = report.result.stack
+    row = {
+        "workload": name,
+        "size": size,
+        "batches": sum(1 for b in stack if b),
+        "instances": sum(len(b) for b in stack),
+        "components": len(stack_components(stack)),
+    }
+    for engine in ENGINES:
+        laps = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            solution = run_second_phase(
+                stack, engine=engine, workers=2, backend="thread"
+            )
+            laps.append(time.perf_counter() - t0)
+            assert solution == report.solution, (
+                f"{engine} pop diverged on {name}@{size}"
+            )
+        row[f"{engine}_ms"] = _median(laps) * 1e3
+    return row
+
+
+def _delta_arm(steps: int):
+    """Replay churn through the journaled service; returns the
+    admission replay measurement (digest identity asserted per step)."""
+    name, size, _ = DELTA_PLAN
+    service = SchedulingService(keep_artifacts=True, disk_dir=None, workers=2)
+    knobs = SolveKnobs(**KNOBS)
+    warm = 0
+    for step in build_trajectory(name, size, seed=SEED, steps=steps):
+        request = SolveRequest(
+            problem=step.problem, knobs=knobs, label=f"{name}@{size}+{step.index}"
+        )
+        if step.index == 0:
+            service.solve(request)
+            continue
+        result = service.solve_delta(request)
+        if result.delta is not None and result.delta.outcome == "warm":
+            warm += 1
+        cold = solve_auto(step.problem, seed=knobs.seed, **KNOBS)
+        assert report_semantic_digest(result.report) == report_semantic_digest(
+            cold
+        ), f"{request.label} ({step.kind}): delta diverged from the cold solve"
+    totals = service.stats["delta_totals"]
+    components = totals["admission_components"]
+    replayed = totals["admission_replayed"]
+    fraction = (replayed / components) if components else 0.0
+    return {
+        "trajectory": name,
+        "size": size,
+        "snapshots": steps,
+        "warm": warm,
+        "admission_components": components,
+        "admission_replayed": replayed,
+        "admission_rerun": totals["admission_rerun"],
+        "replay_fraction": fraction,
+    }
+
+
+def run_experiment(quick: bool = False):
+    workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    repeats = 3 if quick else 7
+    rows, pops = [], []
+    for name, sizes in workloads:
+        for size in sizes:
+            m = _pop_arm(name, size, repeats)
+            pops.append(m)
+            rows.append(
+                [
+                    name, size, m["batches"], m["instances"], m["components"],
+                    f"{m['reference_ms']:.2f}",
+                    f"{m['sliced_ms']:.2f}",
+                    f"{m['vectorized_ms']:.2f}",
+                ]
+            )
+    delta = _delta_arm(steps=DELTA_PLAN[2] // 2 if quick else DELTA_PLAN[2])
+    assert delta["warm"] > 0, "the delta arm must produce warm solves"
+    assert delta["replay_fraction"] >= MIN_REPLAY_FRACTION, (
+        f"admission replay fraction {delta['replay_fraction']:.2f} fell "
+        f"under {MIN_REPLAY_FRACTION} "
+        f"({delta['admission_replayed']}/{delta['admission_components']} "
+        "components replayed)"
+    )
+    rows.append(
+        [
+            f"{delta['trajectory']} (delta)", delta["size"], "-",
+            "-", delta["admission_components"],
+            f"replayed {delta['admission_replayed']}",
+            f"rerun {delta['admission_rerun']}",
+            f"frac {delta['replay_fraction']:.2f}",
+        ]
+    )
+    findings = {
+        "quick": quick,
+        "seed": SEED,
+        "min_replay_fraction": MIN_REPLAY_FRACTION,
+        "pops": pops,
+        "delta": delta,
+    }
+    out = table(
+        [
+            "workload", "size", "batches", "instances", "components",
+            "reference ms", "sliced ms", "vectorized ms",
+        ],
+        rows,
+    )
+    title = "E23 - Second-phase admission engines (pop speed + delta replay)"
+    return title, out, findings
+
+
+def bench_e23_admission_quick(benchmark):
+    name, sizes = QUICK_WORKLOADS[0]
+
+    def pops():
+        return _pop_arm(name, sizes[0], repeats=1)
+
+    m = benchmark(pops)
+    assert m["components"] >= 1
+
+
+if __name__ == "__main__":
+    quick, json_path = parse_bench_args(sys.argv[1:], Path(sys.argv[0]).name)
+    title, out, findings = run_experiment(quick=quick)
+    print(title, "\n", out, sep="")
+    delta = findings["delta"]
+    print(
+        f"{delta['trajectory']}@{delta['size']}: "
+        f"{delta['admission_replayed']}/{delta['admission_components']} "
+        f"admission components replayed "
+        f"(fraction {delta['replay_fraction']:.2f}, floor "
+        f"{MIN_REPLAY_FRACTION})"
+    )
+    emit_json(json_path, "e23", title, findings)

@@ -30,9 +30,10 @@ def solve_narrow_lines(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> AlgorithmReport:
     """Narrow-instance algorithm on lines (Section 7, arbitrary heights)."""
-    validate_engine_knobs(engine, backend, plan_granularity)
+    validate_engine_knobs(engine, backend, plan_granularity, phase2_engine)
     if not all(a.is_narrow for a in problem.demands):
         raise ValueError("narrow algorithm requires every height <= 1/2")
     if hmin is None:
@@ -46,6 +47,7 @@ def solve_narrow_lines(
         problem.instances, layout, HeightRaise(), thresholds, mis=mis, seed=seed,
         engine=engine, workers=workers,
         backend=backend, plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     guarantee = (2 * delta * delta + 1) / result.slackness
     return AlgorithmReport(
@@ -66,30 +68,35 @@ def solve_arbitrary_lines(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Theorem 7.2 algorithm on a line-network problem."""
-    validate_engine_knobs(engine, backend, plan_granularity)
+    validate_engine_knobs(engine, backend, plan_granularity, phase2_engine)
     if not problem.has_wide:
         return solve_narrow_lines(
             problem, epsilon=epsilon, mis=mis, seed=seed, engine=engine,
             workers=workers, backend=backend,
             plan_granularity=plan_granularity,
+            phase2_engine=phase2_engine,
         )
     if not problem.has_narrow:
         return solve_unit_lines(
             problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
             engine=engine, workers=workers, backend=backend,
             plan_granularity=plan_granularity,
+            phase2_engine=phase2_engine,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_unit_lines(
         wide_problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
         engine=engine, workers=workers,
         backend=backend, plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     narrow = solve_narrow_lines(
         narrow_problem, epsilon=epsilon, mis=mis, seed=seed, engine=engine,
         workers=workers, backend=backend, plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)

@@ -34,14 +34,16 @@ def solve_arbitrary_trees(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Theorem 6.3 algorithm on *problem* (any heights)."""
-    validate_engine_knobs(engine, backend, plan_granularity)
+    validate_engine_knobs(engine, backend, plan_granularity, phase2_engine)
     if not problem.has_wide:
         return solve_narrow_trees(
             problem, epsilon=epsilon, mis=mis, seed=seed,
             decomposition=decomposition, engine=engine, workers=workers,
             backend=backend, plan_granularity=plan_granularity,
+            phase2_engine=phase2_engine,
         )
     if not problem.has_narrow:
         return solve_unit_trees(
@@ -55,6 +57,7 @@ def solve_arbitrary_trees(
             workers=workers,
             backend=backend,
             plan_granularity=plan_granularity,
+            phase2_engine=phase2_engine,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_unit_trees(
@@ -68,11 +71,13 @@ def solve_arbitrary_trees(
         workers=workers,
         backend=backend,
         plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     narrow = solve_narrow_trees(
         narrow_problem, epsilon=epsilon, mis=mis, seed=seed,
         decomposition=decomposition, engine=engine, workers=workers,
         backend=backend, plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)

@@ -31,13 +31,14 @@ def solve_narrow_trees(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Lemma 6.2 narrow-instance algorithm on *problem*.
 
     ``hmin`` defaults to the smallest demand height; the paper assumes it
     is known to (or fixed a priori for) all processors.
     """
-    validate_engine_knobs(engine, backend, plan_granularity)
+    validate_engine_knobs(engine, backend, plan_granularity, phase2_engine)
     if not all(a.is_narrow for a in problem.demands):
         raise ValueError("narrow algorithm requires every height <= 1/2")
     if hmin is None:
@@ -53,6 +54,7 @@ def solve_narrow_trees(
         problem.instances, layout, HeightRaise(), thresholds, mis=mis, seed=seed,
         engine=engine, workers=workers,
         backend=backend, plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     guarantee = (2 * delta * delta + 1) / result.slackness
     return AlgorithmReport(

@@ -62,13 +62,14 @@ def solve_sequential(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Appendix A sequential algorithm.
 
     ``use_alpha`` defaults to skipping alpha exactly when no demand has
     more than one instance (the single-tree refinement).
     """
-    validate_engine_knobs(engine, backend, plan_granularity)
+    validate_engine_knobs(engine, backend, plan_granularity, phase2_engine)
     if not problem.is_unit_height:
         raise ValueError("the Appendix A algorithm is for the unit-height case")
     instances = problem.instances
@@ -104,14 +105,24 @@ def solve_sequential(
     )
 
     # One epoch per network, single stage with threshold 1 (lambda = 1).
+    pooled = engine in ("parallel", "vectorized")
+    sliced_pop = phase2_engine == "sliced"
     dual, stack, events, counters = run_first_phase(
         instances, layout, UnitRaise(use_alpha=use_alpha), [1.0],
         EarliestInSigmaOracle(rank),
-        engine=engine, workers=workers,
-        backend=backend, plan_granularity=plan_granularity,
+        engine=engine,
+        workers=workers if (pooled or not sliced_pop) else None,
+        backend=backend if (pooled or not sliced_pop) else None,
+        plan_granularity=plan_granularity,
     )
-    solution = run_second_phase(stack)
-    counters.phase2_rounds = len(stack)
+    solution = run_second_phase(
+        stack,
+        engine=phase2_engine,
+        workers=workers if sliced_pop else None,
+        backend=backend if sliced_pop else None,
+        dual=dual,
+        counters=counters,
+    )
     result = TwoPhaseResult(
         solution=solution,
         dual=dual,

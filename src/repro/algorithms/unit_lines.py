@@ -32,9 +32,10 @@ def solve_unit_lines(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Theorem 7.1 algorithm on a line-network problem."""
-    validate_engine_knobs(engine, backend, plan_granularity)
+    validate_engine_knobs(engine, backend, plan_granularity, phase2_engine)
     if not allow_heights and not problem.is_unit_height:
         raise ValueError(
             "unit-height algorithm requires unit heights "
@@ -49,6 +50,7 @@ def solve_unit_lines(
         problem.instances, layout, UnitRaise(), thresholds, mis=mis, seed=seed,
         engine=engine, workers=workers,
         backend=backend, plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     guarantee = (delta + 1) / result.slackness
     return AlgorithmReport(

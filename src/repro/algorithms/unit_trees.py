@@ -31,6 +31,7 @@ def solve_unit_trees(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> AlgorithmReport:
     """Run the Theorem 5.3 algorithm on *problem*.
 
@@ -67,8 +68,13 @@ def solve_unit_trees(
         conflict components across workers; schedule counters may
         differ) or ``'auto'`` (split only when the plan's component
         structure predicts a win, strict otherwise).
+    phase2_engine:
+        Second-phase (admission) engine: ``'reference'``, ``'sliced'``
+        (capacity-disjoint components popped on the executor backends)
+        or ``'vectorized'`` (columnar CSR ledger) -- bit-identical by
+        construction (:mod:`repro.core.engines.admission`).
     """
-    validate_engine_knobs(engine, backend, plan_granularity)
+    validate_engine_knobs(engine, backend, plan_granularity, phase2_engine)
     if not allow_heights and not problem.is_unit_height:
         raise ValueError(
             "unit-height algorithm requires unit heights "
@@ -83,6 +89,7 @@ def solve_unit_trees(
         problem.instances, layout, UnitRaise(), thresholds, mis=mis, seed=seed,
         engine=engine, workers=workers,
         backend=backend, plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     guarantee = (delta + 1) / result.slackness
     return AlgorithmReport(

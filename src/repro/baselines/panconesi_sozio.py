@@ -40,9 +40,10 @@ def solve_ps_unit_lines(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> AlgorithmReport:
     """The PS unit-height line algorithm (single stage, lambda=1/(5+eps))."""
-    validate_engine_knobs(engine, backend, plan_granularity)
+    validate_engine_knobs(engine, backend, plan_granularity, phase2_engine)
     if not allow_heights and not problem.is_unit_height:
         raise ValueError("PS unit-height baseline requires unit heights")
     layout = line_layouts(problem)
@@ -51,6 +52,7 @@ def solve_ps_unit_lines(
         problem.instances, layout, UnitRaise(), [lambda0], mis=mis, seed=seed,
         engine=engine, workers=workers,
         backend=backend, plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     delta = max(layout.critical_set_size, 1)
     return AlgorithmReport(
@@ -71,29 +73,31 @@ def solve_ps_arbitrary_lines(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> AlgorithmReport:
     """The PS arbitrary-height line algorithm (wide/narrow combination)."""
-    validate_engine_knobs(engine, backend, plan_granularity)
+    validate_engine_knobs(engine, backend, plan_granularity, phase2_engine)
     if not problem.has_wide:
         return _ps_narrow(
             problem, epsilon, mis, seed, engine, workers, backend,
-            plan_granularity,
+            plan_granularity, phase2_engine,
         )
     if not problem.has_narrow:
         return solve_ps_unit_lines(
             problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
             engine=engine, workers=workers, backend=backend,
-            plan_granularity=plan_granularity,
+            plan_granularity=plan_granularity, phase2_engine=phase2_engine,
         )
     wide_problem, narrow_problem = problem.split_by_width()
     wide = solve_ps_unit_lines(
         wide_problem, epsilon=epsilon, mis=mis, seed=seed, allow_heights=True,
         engine=engine, workers=workers,
         backend=backend, plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     narrow = _ps_narrow(
         narrow_problem, epsilon, mis, seed, engine, workers, backend,
-        plan_granularity,
+        plan_granularity, phase2_engine,
     )
     combined = combine_per_network(
         wide.solution, narrow.solution, sorted(problem.networks)
@@ -111,6 +115,7 @@ def _ps_narrow(
     problem: Problem, epsilon: float, mis: str, seed: int,
     engine: str = "reference", workers: Optional[int] = None,
     backend: Optional[str] = None, plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> AlgorithmReport:
     """PS narrow side: height raise rule, single-stage threshold."""
     layout = line_layouts(problem)
@@ -119,6 +124,7 @@ def _ps_narrow(
         problem.instances, layout, HeightRaise(), [lambda0], mis=mis, seed=seed,
         engine=engine, workers=workers,
         backend=backend, plan_granularity=plan_granularity,
+        phase2_engine=phase2_engine,
     )
     delta = max(layout.critical_set_size, 1)
     return AlgorithmReport(

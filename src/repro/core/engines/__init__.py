@@ -9,7 +9,22 @@ numpy-columnar kernel (:mod:`repro.core.engines.columnar`).  All four
 engines produce bit-identical semantic artifacts for the bundled raise
 rules and MIS oracles; :mod:`repro.core.framework` is the stable facade
 that selects between them.
+
+The second phase has its own engine seam
+(:mod:`repro.core.engines.admission`): ``reference`` / ``sliced`` /
+``vectorized`` stack pops, all bit-identical, plus journal-backed
+component replay for delta solves.
 """
+from repro.core.engines.admission import (
+    ADMISSION_ENGINES,
+    AdmissionComponent,
+    AdmissionJob,
+    AdmissionOutcome,
+    run_admission_job_body,
+    run_second_phase,
+    stack_components,
+    validate_admission_engine,
+)
 from repro.core.engines.artifacts import (
     FirstPhaseArtifacts,
     InstanceLayout,
@@ -41,11 +56,15 @@ from repro.core.engines.incremental import (
     run_first_phase_incremental,
 )
 from repro.core.engines.journal import (
+    AdmissionLog,
+    AdmissionRecord,
     EpochRecord,
     FirstPhaseJournal,
     PhaseLog,
     SolveJournal,
     active_journal,
+    admission_config,
+    admission_signature,
     epoch_signature,
     journal_context,
     phase_config,
@@ -58,6 +77,12 @@ from repro.core.engines.parallel import (
 from repro.core.engines.reference import run_first_phase_reference
 
 __all__ = [
+    "ADMISSION_ENGINES",
+    "AdmissionComponent",
+    "AdmissionJob",
+    "AdmissionLog",
+    "AdmissionOutcome",
+    "AdmissionRecord",
     "BACKEND_ENV_VAR",
     "BACKENDS",
     "ColumnarLayout",
@@ -73,6 +98,8 @@ __all__ = [
     "PhaseLog",
     "SolveJournal",
     "active_journal",
+    "admission_config",
+    "admission_signature",
     "build_columnar",
     "default_workers",
     "epoch_signature",
@@ -82,6 +109,7 @@ __all__ = [
     "phase_config",
     "predict_dirty_epochs",
     "resolve_backend",
+    "run_admission_job_body",
     "run_epoch_columnar",
     "run_epoch_incremental",
     "run_epoch_job",
@@ -89,7 +117,10 @@ __all__ = [
     "run_first_phase_parallel",
     "run_first_phase_reference",
     "run_first_phase_vectorized",
+    "run_second_phase",
+    "stack_components",
     "stall_error",
     "usable_cpu_count",
+    "validate_admission_engine",
     "validate_backend",
 ]

@@ -227,6 +227,11 @@ def run_epoch_job(job: EpochJob) -> EpochOutcome:
         from repro.core.engines.columnar import run_columnar_job_body
 
         return run_columnar_job_body(job)
+    if job.kernel == "admission":
+        # Lazy import: admission imports from this module at import time.
+        from repro.core.engines.admission import run_admission_job_body
+
+        return run_admission_job_body(job)
     members = job.members
     by_id = {d.instance_id: d for d in members}
     local = DualState(use_height_rule=job.raise_rule.use_height_rule)

@@ -93,6 +93,7 @@ from typing import List, Optional, Sequence
 from repro.core.demand import DemandInstance
 from repro.core.dual import DualState, RaiseEvent, RaiseRule
 from repro.core.engines import (
+    ADMISSION_ENGINES,
     BACKENDS,
     FirstPhaseArtifacts,
     InstanceLayout,
@@ -103,16 +104,24 @@ from repro.core.engines import (
     run_first_phase_vectorized,
 )
 from repro.core.engines import validate_backend as _validate_backend_name
+from repro.core.engines.admission import (
+    run_second_phase as _run_second_phase_engine,
+)
+from repro.core.engines.admission import validate_admission_engine
 from repro.core.engines.journal import active_journal
 from repro.core.plan import GRANULARITIES
 from repro.core.plan import validate_granularity as _validate_granularity_name
 from repro.core.result import TwoPhaseResult
-from repro.core.solution import CapacityLedger, Solution
+from repro.core.solution import Solution
 from repro.distributed.conflict import ConflictAdjacency, build_conflict_graph
 from repro.distributed.mis import MISOracle, make_mis_oracle
 
 #: The interchangeable first-phase engines (see the module docstring).
 ENGINES = ("reference", "incremental", "parallel", "vectorized")
+
+#: The interchangeable second-phase (admission) engines -- see
+#: :mod:`repro.core.engines.admission`.
+PHASE2_ENGINES = ADMISSION_ENGINES
 
 
 def validate_engine(engine: str) -> str:
@@ -126,6 +135,16 @@ def validate_engine(engine: str) -> str:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     return engine
+
+
+def validate_phase2_engine(engine: str) -> str:
+    """Validate a second-phase (admission) engine name.
+
+    Delegates to
+    :func:`repro.core.engines.admission.validate_admission_engine`, the
+    single source of truth for the admission-engine registry.
+    """
+    return validate_admission_engine(engine)
 
 
 def validate_backend(backend: Optional[str]) -> Optional[str]:
@@ -256,16 +275,27 @@ def run_first_phase(
     return impl(instances, layout, raise_rule, thresholds, mis_oracle, conflict_adj)
 
 
-def run_second_phase(stack: Sequence[Sequence[DemandInstance]]) -> Solution:
-    """Run the second phase: pop in reverse, admit greedily if feasible."""
-    ledger = CapacityLedger()
-    selected: List[DemandInstance] = []
-    for batch in reversed(stack):
-        for d in sorted(batch, key=lambda x: x.instance_id):
-            if ledger.fits(d):
-                ledger.add(d)
-                selected.append(d)
-    return Solution.from_instances(selected)
+def run_second_phase(
+    stack: Sequence[Sequence[DemandInstance]],
+    engine: str = "reference",
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    dual: Optional[DualState] = None,
+    counters: Optional[PhaseCounters] = None,
+) -> Solution:
+    """Run the second phase: pop in reverse, admit greedily if feasible.
+
+    Stable facade over :mod:`repro.core.engines.admission`.  ``engine``
+    selects the pop implementation (``'reference'``, ``'sliced'``,
+    ``'vectorized'`` -- bit-identical by construction); ``workers`` /
+    ``backend`` configure the sliced engine's executor; ``dual`` and
+    ``counters`` feed the journaled replay path and the admission work
+    account (both optional -- the bare one-argument call is unchanged).
+    """
+    return _run_second_phase_engine(
+        stack, engine=engine, workers=workers, backend=backend,
+        dual=dual, counters=counters,
+    )
 
 
 def run_two_phase(
@@ -279,6 +309,7 @@ def run_two_phase(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     plan_granularity: Optional[str] = None,
+    phase2_engine: str = "reference",
 ) -> TwoPhaseResult:
     """Run both phases and assemble a :class:`TwoPhaseResult`.
 
@@ -289,15 +320,31 @@ def run_two_phase(
     see the module docstring); ``workers``, ``backend`` and
     ``plan_granularity`` configure the pooled engines' (parallel,
     vectorized) pool, execution substrate and planner mode.
+    ``phase2_engine`` selects the admission implementation
+    (``'reference'``, ``'sliced'``, ``'vectorized'`` -- also equivalent
+    by construction); ``workers``/``backend`` additionally size the
+    sliced pop's executor, and are legal with serial first-phase engines
+    when (and only when) the sliced pop is the consumer.
     """
+    validate_phase2_engine(phase2_engine)
     oracle = make_mis_oracle(mis, seed)
+    pooled = engine in ("parallel", "vectorized")
+    sliced_pop = phase2_engine == "sliced"
     dual, stack, events, counters = run_first_phase(
         instances, layout, raise_rule, thresholds, oracle,
-        engine=engine, workers=workers, backend=backend,
+        engine=engine,
+        workers=workers if (pooled or not sliced_pop) else None,
+        backend=backend if (pooled or not sliced_pop) else None,
         plan_granularity=plan_granularity,
     )
-    solution = run_second_phase(stack)
-    counters.phase2_rounds = len(stack)
+    solution = run_second_phase(
+        stack,
+        engine=phase2_engine,
+        workers=workers if sliced_pop else None,
+        backend=backend if sliced_pop else None,
+        dual=dual,
+        counters=counters,
+    )
     return TwoPhaseResult(
         solution=solution,
         dual=dual,

@@ -79,7 +79,7 @@ __all__ = [
 #: Version tags baked into every digest, so a change to the canonical
 #: form can never collide with fingerprints minted by an older layout.
 _PROBLEM_TAG = "problem/v1"
-_KNOBS_TAG = "knobs/v2"  # v2: + capacity_epoch
+_KNOBS_TAG = "knobs/v3"  # v2: + capacity_epoch; v3: + phase2_engine
 _SOLVE_TAG = "solve/v1"
 
 
@@ -222,6 +222,9 @@ class SolveKnobs:
     #: state that mutated in bulk can never be answered from a
     #: previous generation's cache entry.
     capacity_epoch: int = 0
+    #: Second-phase (admission) engine -- ``'reference'``, ``'sliced'``
+    #: or ``'vectorized'`` (:mod:`repro.core.engines.admission`).
+    phase2_engine: str = "reference"
 
     def validate(self) -> "SolveKnobs":
         """Reject invalid knob names *and combinations* early.
@@ -234,22 +237,34 @@ class SolveKnobs:
         would then depend on cache state.  Validating before any cache
         interaction (the service does) keeps rejection deterministic.
         """
-        validate_engine_knobs(self.engine, self.backend, self.plan_granularity)
+        validate_engine_knobs(
+            self.engine, self.backend, self.plan_granularity,
+            self.phase2_engine,
+        )
         if self.capacity_epoch < 0:
             raise ValueError(
                 f"capacity_epoch must be >= 0, got {self.capacity_epoch}"
             )
         if self.engine not in ("parallel", "vectorized"):
-            for knob, value in (
-                ("workers", self.workers),
-                ("backend", self.backend),
-                ("plan_granularity", self.plan_granularity),
-            ):
-                if value is not None:
-                    raise ValueError(
-                        f"{knob}= applies only to engine='parallel' or "
-                        f"'vectorized', not {self.engine!r}"
-                    )
+            # plan_granularity shapes the first-phase plan only; the
+            # executor knobs additionally serve the sliced second-phase
+            # pop, which is legal with any first-phase engine.
+            if self.plan_granularity is not None:
+                raise ValueError(
+                    "plan_granularity= applies only to engine='parallel' "
+                    f"or 'vectorized', not {self.engine!r}"
+                )
+            if self.phase2_engine != "sliced":
+                for knob, value in (
+                    ("workers", self.workers),
+                    ("backend", self.backend),
+                ):
+                    if value is not None:
+                        raise ValueError(
+                            f"{knob}= applies only to engine='parallel' or "
+                            f"'vectorized' (or phase2_engine='sliced'), "
+                            f"not {self.engine!r}"
+                        )
         return self
 
     def canonical_form(self) -> Tuple:
@@ -263,6 +278,11 @@ class SolveKnobs:
         vectorized engine keys like the parallel one: its executor
         knobs route it through the same plan/execute/merge machinery
         (``kernel="vectorized"``), granularity contract included.
+        ``phase2_engine`` is keyed raw: every admission engine is
+        bit-identical, but distinct engines must never alias a cache
+        entry (the knob-sensitivity contract), and the backend slot
+        stays keyed on the *first-phase* engine alone -- a sliced pop's
+        substrate never changes the semantic artifact.
         """
         if self.engine in ("parallel", "vectorized"):
             backend: Optional[str] = resolve_backend(self.backend)
@@ -280,6 +300,7 @@ class SolveKnobs:
             granularity,
             self.decomposition,
             int(self.capacity_epoch),
+            self.phase2_engine,
         )
 
 

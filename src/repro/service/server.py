@@ -558,6 +558,7 @@ class SchedulingService:
                 workers=k.workers,
                 backend=k.backend,
                 plan_granularity=k.plan_granularity,
+                phase2_engine=k.phase2_engine,
             )
 
         if journal is None:
@@ -756,6 +757,9 @@ class SchedulingService:
             prediction_misses=journal.prediction_misses,
             phases=journal.phases,
             layouts_reused=journal.layouts_reused,
+            admission_components=journal.admission_components,
+            admission_replayed=journal.admission_replayed,
+            admission_rerun=journal.admission_rerun,
         )
         return report, stats
 
